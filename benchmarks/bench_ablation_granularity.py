@@ -1,0 +1,70 @@
+"""Ablation: delay-threshold search granularity.
+
+The paper searches delay thresholds in 10 ps steps and notes the
+granularity "can be lowered if necessary, but at the expense of more
+runtime".  This bench quantifies what a 5 ps and a 2.5 ps grid would buy:
+finer grids can stop at a slightly higher surviving-value count for the
+same achieved voltage, or reach a slightly lower voltage for the same
+survivor budget.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cells import default_library
+from repro.cells.voltage import VoltageModel
+from repro.netlist import build_mac_unit
+from repro.timing import DelaySelector, WeightDelayProfiler, \
+    WeightTimingTable
+
+WEIGHTS = [-105, -85, -64, -33, -8, -2, 0, 2, 8, 33, 64, 85, 105, 127]
+
+
+def _timing_table():
+    profiler = WeightDelayProfiler(build_mac_unit(), default_library())
+    act_from, act_to = profiler.all_transitions()
+    rng = np.random.default_rng(0)
+    chosen = rng.choice(act_from.size, 6000, replace=False)
+    return WeightTimingTable.characterize(
+        profiler, weights=WEIGHTS,
+        transitions=(act_from[chosen], act_to[chosen]), floor_ps=110.0)
+
+
+def test_ablation_threshold_granularity(benchmark, scale):
+    table = _timing_table()
+    selector = DelaySelector(table, n_restarts=5)
+    voltage = VoltageModel()
+
+    def sweep():
+        results = {}
+        for granularity in (10.0, 5.0, 2.5):
+            thresholds = np.arange(170.0, 125.0, -granularity)
+            frontier = []
+            for threshold in thresholds:
+                selection = selector.select(float(threshold))
+                vdd = voltage.min_voltage_for_slack(
+                    float(threshold), 180.0)
+                frontier.append((float(threshold),
+                                 selection.n_weights
+                                 + selection.n_activations, vdd))
+            results[granularity] = frontier
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    for granularity, frontier in results.items():
+        best_vdd = min(v for __, __s, v in frontier)
+        points = len(frontier)
+        print(f"granularity {granularity:4.1f} ps: {points:2d} search "
+              f"points, lowest feasible vdd {best_vdd:.2f} V")
+        for threshold, survivors, vdd in frontier:
+            print(f"    {threshold:6.1f} ps -> {survivors:3d} values, "
+                  f"{vdd:.2f} V")
+
+    # Finer grids include every coarse point, so the reachable frontier
+    # can only improve (weakly).
+    coarse_best = min(v for *_rest, v in results[10.0])
+    fine_best = min(v for *_rest, v in results[2.5])
+    assert fine_best <= coarse_best
+    # ... at the cost of proportionally more search points (runtime).
+    assert len(results[2.5]) > len(results[10.0]) * 3

@@ -1,0 +1,78 @@
+"""Ablation: which gating feature buys the Standard->Optimized gap?
+
+The paper's Optimized HW bundles two features — zero-weight clock gating
+and unused-column power gating.  This bench isolates each one's
+contribution across sparsity levels, explaining the Standard-vs-Optimized
+columns of Table I.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.power.characterization import WeightPowerTable
+from repro.systolic import (
+    ArrayPowerModel,
+    HardwareVariant,
+    MacPowerParams,
+    OPTIMIZED_HW,
+    STANDARD_HW,
+    SystolicConfig,
+    schedule_matmul,
+)
+
+CLOCK_GATE_ONLY = HardwareVariant("clock-gate only",
+                                  clock_gate_zero_weight=True)
+POWER_GATE_ONLY = HardwareVariant("power-gate only",
+                                  power_gate_unused_columns=True)
+
+
+def _table():
+    weights = np.arange(-127, 128)
+    dynamic = 250.0 + 4.5 * np.abs(weights)
+    dynamic[127] = 40.0
+    return WeightPowerTable(
+        weights=weights, power_uw=dynamic + 11.0, dynamic_uw=dynamic,
+        leakage_uw=11.0, clock_period_ps=180.0)
+
+
+def test_ablation_hw_gating_features(benchmark, scale):
+    config = SystolicConfig()
+    model = ArrayPowerModel(config, MacPowerParams(table=_table()))
+    # A LeNet-like layer: 16 of 64 columns used, 50% zero weights.
+    schedule = schedule_matmul(150, 16, 800, config)
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        rows = {}
+        for sparsity in (0.0, 0.5, 0.9):
+            weights = rng.integers(-127, 128, (150, 16))
+            weights[rng.random(weights.shape) < sparsity] = 0
+            rows[sparsity] = {
+                variant.name: model.layer_power(schedule, weights,
+                                                variant)
+                for variant in (STANDARD_HW, CLOCK_GATE_ONLY,
+                                POWER_GATE_ONLY, OPTIMIZED_HW)
+            }
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print("sparsity  variant            total[mW]  dyn[mW]  leak[mW]")
+    for sparsity, variants in rows.items():
+        for name, power in variants.items():
+            print(f"{sparsity:8.1f}  {name:17}  "
+                  f"{power.total_uw / 1000:9.1f}  "
+                  f"{power.dynamic_uw / 1000:7.1f}  "
+                  f"{power.leakage_uw / 1000:8.1f}")
+
+    for sparsity, variants in rows.items():
+        std = variants[STANDARD_HW.name]
+        opt = variants[OPTIMIZED_HW.name]
+        cg = variants[CLOCK_GATE_ONLY.name]
+        pg = variants[POWER_GATE_ONLY.name]
+        # each feature alone sits between Standard and Optimized
+        assert opt.total_uw <= cg.total_uw <= std.total_uw + 1e-6
+        assert opt.total_uw <= pg.total_uw <= std.total_uw + 1e-6
+        # power gating is what kills leakage (Table I discussion)
+        assert pg.leakage_uw < std.leakage_uw
+        assert cg.leakage_uw == std.leakage_uw

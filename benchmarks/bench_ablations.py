@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the design choices the paper fixes silently.
+
+The paper hard-codes three knobs: 50 partial-sum bins, 20 randomized
+removal restarts, 10 000 sampled transitions per weight.  These benches
+quantify how sensitive the results are to each.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cells import default_library
+from repro.netlist import build_mac_unit
+from repro.power import (
+    BinnedTransitions,
+    PartialSumBinner,
+    TransitionDistribution,
+    WeightPowerCharacterizer,
+)
+from repro.timing import DelaySelector, WeightDelayProfiler, \
+    WeightTimingTable
+
+_MAC = build_mac_unit()
+_LIB = default_library()
+
+
+def _psum_stream(n=20000, seed=0):
+    rng = np.random.default_rng(seed)
+    # random-walk partial sums: realistic near-diagonal transitions
+    steps = rng.integers(-(1 << 12), 1 << 12, n)
+    return np.clip(np.cumsum(steps), -(1 << 20), 1 << 20)
+
+
+def _characterize(n_bins, n_samples, weights, seed=0):
+    stream = _psum_stream(seed=seed)
+    binner = PartialSumBinner(n_bins=n_bins).fit(
+        stream, rng=np.random.default_rng(seed))
+    binned = BinnedTransitions.from_stream(binner, stream)
+    act = TransitionDistribution.diagonal(256)
+    characterizer = WeightPowerCharacterizer(
+        _MAC, _LIB, act, binned, n_samples=n_samples)
+    return characterizer.characterize(weights, seed=seed)
+
+
+WEIGHTS = [-105, -64, -32, -8, -2, 0, 2, 8, 32, 64, 105, 127]
+
+
+def test_ablation_psum_bins(benchmark, scale):
+    """Per-weight power vs number of partial-sum bins (paper: 50)."""
+
+    def sweep():
+        return {n_bins: _characterize(n_bins, 600, WEIGHTS)
+                for n_bins in (5, 20, 50)}
+
+    tables = run_once(benchmark, sweep)
+    print()
+    reference = tables[50]
+    order_ref = np.argsort(reference.power_uw)
+    for n_bins, table in tables.items():
+        corr = np.corrcoef(table.power_uw, reference.power_uw)[0, 1]
+        same_order = (np.argsort(table.power_uw) == order_ref).mean()
+        print(f"bins={n_bins:3d}: corr vs 50-bin reference "
+              f"{corr:.3f}, rank agreement {same_order:.2f}")
+        # The per-weight power *ordering* is what selection consumes;
+        # it must be robust to the bin count.
+        assert corr > 0.95
+
+
+def test_ablation_characterization_samples(benchmark, scale):
+    """Convergence of per-weight power vs sample count (paper: 10k)."""
+
+    def sweep():
+        return {n: _characterize(20, n, WEIGHTS, seed=1)
+                for n in (200, 1000, 4000)}
+
+    tables = run_once(benchmark, sweep)
+    print()
+    reference = tables[4000]
+    previous_error = None
+    for n, table in sorted(tables.items()):
+        error = np.abs(table.power_uw - reference.power_uw).mean()
+        print(f"samples={n:5d}: mean |err| vs 4000-sample reference "
+              f"{error:7.2f} uW")
+        if previous_error is not None:
+            assert error <= previous_error + 15.0  # converging
+        previous_error = error
+
+
+def test_ablation_removal_restarts(benchmark, scale):
+    """Quality of the randomized removal vs restart count (paper: 20)."""
+    profiler = WeightDelayProfiler(_MAC, _LIB)
+    act_from, act_to = profiler.all_transitions()
+    rng = np.random.default_rng(2)
+    chosen = rng.choice(act_from.size, 4000, replace=False)
+    table = WeightTimingTable.characterize(
+        profiler, weights=WEIGHTS,
+        transitions=(act_from[chosen], act_to[chosen]), floor_ps=90.0)
+
+    def sweep():
+        survivors = {}
+        for restarts in (1, 5, 20):
+            selector = DelaySelector(table, n_restarts=restarts)
+            result = selector.select(150.0)
+            survivors[restarts] = (result.n_weights
+                                   + result.n_activations)
+        return survivors
+
+    survivors = run_once(benchmark, sweep)
+    print()
+    for restarts, kept in survivors.items():
+        print(f"restarts={restarts:2d}: surviving values {kept}")
+    # More restarts can only improve the best-of score.
+    assert survivors[20] >= survivors[1]
+    assert survivors[5] >= survivors[1]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 2 (per-weight average power)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_weight_power(benchmark, scale):
+    result = run_once(benchmark, fig2.run, scale)
+    print()
+    print(fig2.format_series(result))
+    summary = result.summary()
+    print(f"summary: {summary}")
+
+    # Fig. 2 shape: zero weight is by far the cheapest; the digit-dense
+    # -105 anchors the top of the curve; a meaningful fraction of values
+    # sits below the 900 uW threshold.
+    table = result.table
+    assert table.power_of(0) == table.power_uw.min()
+    assert summary["w-105_uw"] > summary["w-2_uw"]
+    assert 0 < result.n_below_threshold < table.weights.size

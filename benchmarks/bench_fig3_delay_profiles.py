@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig. 3 (delay profiles of two weights)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_delay_profiles(benchmark, scale):
+    result = run_once(benchmark, fig3.run, scale)
+    print()
+    for profile in result.profiles.values():
+        print(fig3.format_histogram(profile, result.time_scale))
+
+    # Fig. 3 shape: -105 sensitizes much slower paths than 64, and the
+    # calibrated global max sits at the paper's 180 ps.
+    max_delays = result.max_delays()
+    assert max_delays[-105] > max_delays[64]
+    assert abs(max_delays[-105] - 180.0) < 1.0

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 4 (operand transition distributions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_transition_distributions(benchmark, scale):
+    result = run_once(benchmark, fig4.run, scale)
+    print()
+    print(fig4.format_heatmap(result.activation.matrix,
+                              label="(a) activation transitions"))
+    print(fig4.format_heatmap(result.psum_binned.distribution.matrix,
+                              cells=25,
+                              label="(b) partial-sum bin transitions"))
+    summary = result.summary()
+    print(f"summary: {summary}")
+
+    # Fig. 4 shape: real traffic is diagonal-heavy for activations and
+    # clearly non-uniform for partial-sum bins.
+    assert summary["act_diagonal_mass_16"] > 0.3
+    assert summary["psum_nonuniformity"] > 2.0
+    assert result.n_act_transitions > 1000

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 7 (vs conventional pruning)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+from repro.experiments.config import NETWORK_SPECS
+
+
+def test_fig7_vs_pruning(benchmark, scale):
+    # Two networks keep the harness fast; pass all four at ci scale.
+    specs = NETWORK_SPECS[:2] if scale == "smoke" else NETWORK_SPECS
+    result = run_once(benchmark, fig7.run, scale, specs)
+    print()
+    print(fig7.format_chart(result))
+
+    for label, bars in result.bars.items():
+        stages = {bar.stage: bar for bar in bars}
+        # Fig. 7 shape: baseline > pruned > proposed on Optimized HW.
+        assert stages["Pruned"].power.total_uw < \
+            stages["Baseline"].power.total_uw, label
+        assert stages["Proposed"].power.total_uw < \
+            stages["Pruned"].power.total_uw, label
+        # ... with only a slight accuracy loss for the proposed method.
+        assert stages["Proposed"].accuracy > \
+            stages["Baseline"].accuracy - 0.15, label

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 8 (power threshold vs accuracy)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+from repro.experiments.config import NETWORK_SPECS
+
+
+def test_fig8_power_threshold_sweep(benchmark, scale):
+    specs = NETWORK_SPECS[:1] if scale == "smoke" else NETWORK_SPECS[:2]
+    result = run_once(benchmark, fig8.run, scale, specs)
+    print()
+    print(fig8.format_series(result))
+
+    for label, series in result.points.items():
+        counts = [point.n_weights for point in series]
+        powers = [point.power_opt.total_uw for point in series]
+        # Fig. 8 shape: lower thresholds keep fewer weight values ...
+        assert counts == sorted(counts, reverse=True), label
+        # ... and power never increases as the threshold tightens.
+        assert powers[-1] <= powers[0] * 1.02, label
+        # Accuracy stays usable over the paper's threshold range.
+        assert max(point.accuracy for point in series) > 0.4, label

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 9 (delay threshold vs accuracy)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+from repro.experiments.config import NETWORK_SPECS
+
+
+def test_fig9_delay_threshold_sweep(benchmark, scale):
+    specs = NETWORK_SPECS[:1] if scale == "smoke" else NETWORK_SPECS[:2]
+    result = run_once(benchmark, fig9.run, scale, specs)
+    print()
+    print(fig9.format_series(result))
+
+    for label, series in result.points.items():
+        thresholds = [point.threshold_ps for point in series]
+        activations = [point.n_activations for point in series]
+        assert thresholds == sorted(thresholds, reverse=True), label
+        # Fig. 9 shape: tighter delay thresholds keep fewer (or equal)
+        # activation values; the loosest threshold keeps all 256.
+        assert activations == sorted(activations, reverse=True), label
+        assert activations[0] == 256, label

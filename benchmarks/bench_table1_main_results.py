@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table I (main results, all four networks)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_main_results(benchmark, scale):
+    reports = run_once(benchmark, table1.run, scale)
+    print()
+    print(table1.format_with_reference(reports))
+
+    # Shape assertions: the qualitative Table I claims must hold.
+    for report in reports:
+        assert report.reduction_opt > 0, report.network
+        assert report.reduction_std > 0, report.network
+        assert report.power_opt_prop_vs.total_uw < \
+            report.power_opt_orig.total_uw
+    # LeNet-5 (first row) shows the largest Optimized-HW reduction class.
+    assert reports[0].reduction_opt > 30.0

@@ -1,0 +1,21 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures.  The scale
+defaults to ``smoke`` so the whole harness runs in a few minutes; set
+``REPRO_BENCH_SCALE=ci`` (or ``paper``) for higher-fidelity runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,74 @@
+"""Characterize a MAC unit's per-weight power and timing, standalone.
+
+This is the hardware-facing half of PowerPruning without any neural
+network: build the gate-level MAC, drive it with synthetic operand
+transition distributions, and inspect which weight values are expensive
+in power and which sensitize slow paths — the raw signal the method
+selects on (paper Figs. 2 and 3).
+
+Run:
+    python examples/characterize_mac.py
+"""
+
+import numpy as np
+
+from repro import (
+    DelaySelector,
+    TransitionDistribution,
+    WeightDelayProfiler,
+    WeightPowerCharacterizer,
+    WeightTimingTable,
+    build_mac_unit,
+    default_library,
+)
+from repro.power import BinnedTransitions, PartialSumBinner
+
+
+def main() -> None:
+    mac = build_mac_unit()
+    library = default_library()
+    print(f"MAC unit: {mac.full.num_gates} gates "
+          f"({mac.cell_counts()})")
+
+    # Synthetic operand statistics (diagonal-heavy, like real traffic).
+    act_dist = TransitionDistribution.diagonal(256, bandwidth=12.0)
+    rng = np.random.default_rng(0)
+    psum_stream = np.clip(
+        np.cumsum(rng.integers(-(1 << 12), 1 << 12, 30000)),
+        -(1 << 20), 1 << 20)
+    binner = PartialSumBinner(n_bins=50).fit(psum_stream, rng=rng)
+    psum_binned = BinnedTransitions.from_stream(binner, psum_stream)
+
+    # --- power characterization (Fig. 2) ---
+    characterizer = WeightPowerCharacterizer(
+        mac, library, act_dist, psum_binned, n_samples=2000)
+    weights = sorted(set(range(-127, 128, 8))
+                     | {-105, -64, -2, 0, 2, 64, 127})
+    table = characterizer.characterize(weights)
+    print("\nper-weight power (uW), selected values:")
+    for weight in (-105, -64, -2, 0, 2, 64, 127):
+        print(f"  w={weight:5d}: {table.power_of(weight):7.1f}")
+    print(f"weights at/below 900 uW: {table.count_below(900.0)} "
+          f"of {table.weights.size}")
+
+    # --- timing characterization (Fig. 3) + selection (Fig. 6) ---
+    profiler = WeightDelayProfiler(mac, library)
+    act_from, act_to = profiler.all_transitions()
+    chosen = rng.choice(act_from.size, 8000, replace=False)
+    timing = WeightTimingTable.characterize(
+        profiler, weights=table.select_below(900.0),
+        transitions=(act_from[chosen], act_to[chosen]), floor_ps=100.0)
+    print(f"\nglobal max sensitized delay: "
+          f"{timing.global_max_delay_ps:.0f} ps (calibrated)")
+
+    selector = DelaySelector(timing, n_restarts=20)
+    for threshold in (170.0, 150.0, 140.0):
+        result = selector.select(threshold)
+        print(f"  threshold {threshold:.0f} ps -> "
+              f"{result.n_weights} weights, "
+              f"{result.n_activations} activations survive "
+              f"(max delay {result.max_delay_ps:.0f} ps)")
+
+
+if __name__ == "__main__":
+    main()

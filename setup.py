@@ -1,0 +1,9 @@
+"""Setup shim for environments without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""PowerPruning reproduction (DAC 2023).
+
+Power- and timing-aware selection of weight and activation values for
+digital DNN accelerators, reproduced end to end: a gate-level MAC model,
+Power-Compiler-style power estimation, split dynamic/static timing
+analysis, a weight-stationary systolic-array simulator, a NumPy QAT
+training stack, and the full selection + retraining + voltage-scaling
+pipeline.
+
+Quickstart::
+
+    from repro import PipelineConfig, PowerPruner, format_table1
+
+    report = PowerPruner(PipelineConfig(network="lenet5")).run()
+    print(format_table1([report]))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    PipelineConfig,
+    PowerPruner,
+    PowerPruningReport,
+    delay_threshold_search,
+    extract_workloads,
+    format_table1,
+    magnitude_prune,
+    power_threshold_search,
+    scale_voltage,
+)
+from repro.cells import CellLibrary, VoltageModel, default_library
+from repro.netlist import MacUnit, build_mac_unit
+from repro.power import (
+    PartialSumBinner,
+    TransitionDistribution,
+    WeightPowerCharacterizer,
+    WeightPowerTable,
+)
+from repro.timing import (
+    DelaySelector,
+    WeightDelayProfiler,
+    WeightTimingTable,
+)
+from repro.systolic import (
+    OPTIMIZED_HW,
+    STANDARD_HW,
+    ArrayPowerModel,
+    MacPowerParams,
+    SystolicArray,
+    SystolicConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PipelineConfig",
+    "PowerPruner",
+    "PowerPruningReport",
+    "format_table1",
+    "magnitude_prune",
+    "power_threshold_search",
+    "delay_threshold_search",
+    "scale_voltage",
+    "extract_workloads",
+    "CellLibrary",
+    "VoltageModel",
+    "default_library",
+    "MacUnit",
+    "build_mac_unit",
+    "TransitionDistribution",
+    "PartialSumBinner",
+    "WeightPowerCharacterizer",
+    "WeightPowerTable",
+    "WeightDelayProfiler",
+    "WeightTimingTable",
+    "DelaySelector",
+    "SystolicArray",
+    "SystolicConfig",
+    "ArrayPowerModel",
+    "MacPowerParams",
+    "STANDARD_HW",
+    "OPTIMIZED_HW",
+    "__version__",
+]

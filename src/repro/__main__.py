@@ -1,0 +1,46 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro table1 [--scale ci]
+    python -m repro fig2 [--scale smoke]
+    python -m repro fig7 --scale ci
+    ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig2, fig3, fig4, fig7, fig8, fig9, table1
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "fig2": fig2.main,
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate a table/figure of the PowerPruning "
+                    "paper (DAC 2023)",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", default="ci",
+                        choices=("smoke", "ci", "paper"),
+                        help="experiment scale (default: ci)")
+    args = parser.parse_args(argv)
+    EXPERIMENTS[args.experiment](scale=args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

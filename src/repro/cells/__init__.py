@@ -1,0 +1,31 @@
+"""Standard-cell models and supply-voltage scaling laws.
+
+This subpackage stands in for the NanGate 15 nm open cell library used by
+the paper and for the FinFET voltage-scaling silicon data it cites ([16],
+[17]).  Cells carry a nominal delay, a per-toggle switching energy, a
+leakage power and an input capacitance; the voltage module provides the
+alpha-power delay law and the dynamic/leakage power scaling laws used when
+the supply voltage is lowered after timing-aware selection.
+"""
+
+from repro.cells.library import (
+    Cell,
+    CellLibrary,
+    default_library,
+)
+from repro.cells.voltage import (
+    VoltageModel,
+    delay_scale,
+    dynamic_power_scale,
+    leakage_power_scale,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "VoltageModel",
+    "delay_scale",
+    "dynamic_power_scale",
+    "leakage_power_scale",
+]

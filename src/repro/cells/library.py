@@ -1,0 +1,160 @@
+"""Parametric standard-cell library.
+
+The paper synthesizes its systolic array with the NanGate 15 nm open cell
+library and reads per-cell delay/energy numbers from it via Synopsys tools.
+Offline we model each cell with four numbers:
+
+* ``delay_ps`` — pin-to-output propagation delay at the nominal supply
+  voltage (0.8 V for the 15 nm library).
+* ``energy_fj`` — energy dissipated per *output toggle* (internal energy
+  plus the energy of charging the average output load).
+* ``leakage_nw`` — static leakage power of the cell at the nominal voltage.
+* ``input_cap_ff`` — input pin capacitance, kept for documentation and for
+  possible load-dependent extensions.
+
+Absolute values are calibrated so the 8-bit MAC unit built from these cells
+reproduces the anchor points of the paper (Figs. 2 and 3): a post-synthesis
+maximum delay of about 180 ps and per-weight average power in the
+400–1100 µW range at ~5 GHz.  Only *relative* per-weight numbers drive the
+PowerPruning method, so the calibration pins scale without affecting the
+algorithmics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational standard cell.
+
+    Attributes:
+        name: Library name of the cell (e.g. ``"XOR2"``).
+        num_inputs: Number of input pins.
+        delay_ps: Pin-to-output delay in picoseconds at nominal voltage.
+        energy_fj: Switching energy per output toggle in femtojoules.
+        leakage_nw: Leakage power in nanowatts at nominal voltage.
+        input_cap_ff: Input pin capacitance in femtofarads.
+    """
+
+    name: str
+    num_inputs: int
+    delay_ps: float
+    energy_fj: float
+    leakage_nw: float
+    input_cap_ff: float = 1.0
+
+    def scaled(self, delay_factor: float = 1.0, energy_factor: float = 1.0,
+               leakage_factor: float = 1.0) -> "Cell":
+        """Return a copy of the cell with scaled characteristics."""
+        return replace(
+            self,
+            delay_ps=self.delay_ps * delay_factor,
+            energy_fj=self.energy_fj * energy_factor,
+            leakage_nw=self.leakage_nw * leakage_factor,
+        )
+
+
+class CellLibrary:
+    """A named collection of :class:`Cell` models.
+
+    The library behaves like a read-only mapping from cell name to
+    :class:`Cell`.  It also records the nominal supply voltage the cell
+    characteristics refer to.
+    """
+
+    def __init__(self, name: str, cells: Iterable[Cell],
+                 nominal_voltage: float = 0.8) -> None:
+        self.name = name
+        self.nominal_voltage = nominal_voltage
+        self._cells: Dict[str, Cell] = {cell.name: cell for cell in cells}
+        if not self._cells:
+            raise ValueError("a cell library needs at least one cell")
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r}; "
+                f"available: {sorted(self._cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Mapping[str, Cell]:
+        """Read-only view of the cells keyed by name."""
+        return dict(self._cells)
+
+    def delay_ps(self, name: str) -> float:
+        """Delay of cell ``name`` in picoseconds."""
+        return self[name].delay_ps
+
+    def energy_fj(self, name: str) -> float:
+        """Per-toggle switching energy of cell ``name`` in femtojoules."""
+        return self[name].energy_fj
+
+    def leakage_nw(self, name: str) -> float:
+        """Leakage power of cell ``name`` in nanowatts."""
+        return self[name].leakage_nw
+
+    def scaled(self, delay_factor: float = 1.0, energy_factor: float = 1.0,
+               leakage_factor: float = 1.0,
+               name_suffix: str = "-scaled") -> "CellLibrary":
+        """Return a new library with every cell scaled uniformly.
+
+        Used to calibrate the synthetic library against the paper's anchor
+        points (180 ps MAC critical path, Fig. 2 power range).
+        """
+        cells = [
+            cell.scaled(delay_factor, energy_factor, leakage_factor)
+            for cell in self
+        ]
+        return CellLibrary(self.name + name_suffix, cells,
+                           self.nominal_voltage)
+
+
+#: Raw (pre-calibration) cell characteristics, loosely NanGate-15nm shaped:
+#: inverters are the fastest and cheapest, XOR-class cells are the slowest
+#: and most power hungry.  Delays are in ps, energies in fJ, leakage in nW.
+_RAW_CELLS = (
+    Cell("INV",   1, delay_ps=1.4, energy_fj=0.45, leakage_nw=5.5,
+         input_cap_ff=0.8),
+    Cell("BUF",   1, delay_ps=2.0, energy_fj=0.60, leakage_nw=7.0,
+         input_cap_ff=0.8),
+    Cell("AND2",  2, delay_ps=2.6, energy_fj=0.95, leakage_nw=9.0,
+         input_cap_ff=1.0),
+    Cell("OR2",   2, delay_ps=2.6, energy_fj=0.95, leakage_nw=9.0,
+         input_cap_ff=1.0),
+    Cell("NAND2", 2, delay_ps=2.0, energy_fj=0.80, leakage_nw=8.0,
+         input_cap_ff=1.0),
+    Cell("NOR2",  2, delay_ps=2.2, energy_fj=0.85, leakage_nw=8.0,
+         input_cap_ff=1.0),
+    Cell("XOR2",  2, delay_ps=4.2, energy_fj=1.80, leakage_nw=14.0,
+         input_cap_ff=1.4),
+    Cell("XNOR2", 2, delay_ps=4.2, energy_fj=1.80, leakage_nw=14.0,
+         input_cap_ff=1.4),
+    Cell("MUX2",  3, delay_ps=3.4, energy_fj=1.40, leakage_nw=12.0,
+         input_cap_ff=1.2),
+)
+
+
+def default_library(nominal_voltage: float = 0.8) -> CellLibrary:
+    """Return the default synthetic 15 nm-like cell library.
+
+    The returned library is *uncalibrated*; higher layers (see
+    :mod:`repro.power.characterization` and :mod:`repro.timing.profile`)
+    apply global delay/energy calibration factors so the assembled MAC unit
+    matches the paper's 180 ps / 400–1100 µW anchors.
+    """
+    return CellLibrary("synth15", _RAW_CELLS, nominal_voltage)

@@ -1,0 +1,144 @@
+"""Supply-voltage scaling laws.
+
+The paper lowers the supply voltage once timing-aware weight/activation
+selection has reduced the maximum sensitized delay of the MAC unit, and it
+reads the delay-vs-voltage relation from FinFET silicon measurements
+(Lee et al., ISLPED 2014 [16]) and the power scaling from Pinckney et al.
+[17].  We reproduce those curves with standard compact models:
+
+* **Delay** follows the alpha-power law
+  ``delay(V) ∝ V / (V - V_th)**alpha``.  With ``V_th = 0.30 V`` and
+  ``alpha = 1.73`` the model reproduces the paper's Table I scaling
+  factors: 40 ps of slack at a 180 ps clock allows 0.8 V → 0.71 V,
+  30 ps → 0.73 V, 20 ps → 0.75 V.
+* **Dynamic power** scales as ``V**2`` (same frequency, per CV²f).
+* **Leakage power** scales super-linearly (`V**3`), matching the strong
+  DIBL-driven leakage reduction FinFETs show near threshold [17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def delay_scale(vdd: float, vdd_nom: float = 0.8, vth: float = 0.30,
+                alpha: float = 1.73) -> float:
+    """Circuit delay at ``vdd`` relative to the delay at ``vdd_nom``.
+
+    Values above 1.0 mean the circuit is slower than at nominal voltage.
+
+    Raises:
+        ValueError: if ``vdd`` is not comfortably above the threshold
+            voltage (the alpha-power model diverges at ``vth``).
+    """
+    if vdd <= vth + 0.05:
+        raise ValueError(
+            f"supply voltage {vdd:.3f} V too close to threshold "
+            f"{vth:.2f} V for the alpha-power model"
+        )
+    nominal = vdd_nom / (vdd_nom - vth) ** alpha
+    scaled = vdd / (vdd - vth) ** alpha
+    return scaled / nominal
+
+
+def dynamic_power_scale(vdd: float, vdd_nom: float = 0.8) -> float:
+    """Dynamic power at ``vdd`` relative to nominal, at fixed frequency."""
+    if vdd <= 0:
+        raise ValueError("supply voltage must be positive")
+    return (vdd / vdd_nom) ** 2
+
+
+def leakage_power_scale(vdd: float, vdd_nom: float = 0.8,
+                        exponent: float = 3.0) -> float:
+    """Leakage power at ``vdd`` relative to nominal.
+
+    FinFET leakage drops super-linearly with voltage [17]; a cubic law is a
+    good fit over the 0.6–0.8 V range the paper operates in.
+    """
+    if vdd <= 0:
+        raise ValueError("supply voltage must be positive")
+    return (vdd / vdd_nom) ** exponent
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Bundle of voltage-scaling laws with a fixed nominal operating point.
+
+    Attributes:
+        vdd_nom: Nominal supply voltage in volts (0.8 V for the 15 nm
+            library the paper uses).
+        vth: Effective threshold voltage of the alpha-power delay law.
+        alpha: Velocity-saturation exponent of the alpha-power law.
+        leakage_exponent: Exponent of the leakage scaling law.
+        step: Voltage granularity when searching for the lowest feasible
+            supply (the paper reports two-decimal voltages, i.e. 10 mV).
+        vdd_min: Lowest supply the search will consider.
+    """
+
+    vdd_nom: float = 0.8
+    vth: float = 0.30
+    alpha: float = 1.73
+    leakage_exponent: float = 3.0
+    step: float = 0.01
+    vdd_min: float = 0.5
+
+    def delay_scale(self, vdd: float) -> float:
+        """Delay multiplier at ``vdd`` relative to ``vdd_nom``."""
+        return delay_scale(vdd, self.vdd_nom, self.vth, self.alpha)
+
+    def dynamic_power_scale(self, vdd: float) -> float:
+        """Dynamic-power multiplier at ``vdd`` relative to ``vdd_nom``."""
+        return dynamic_power_scale(vdd, self.vdd_nom)
+
+    def leakage_power_scale(self, vdd: float) -> float:
+        """Leakage-power multiplier at ``vdd`` relative to ``vdd_nom``."""
+        return leakage_power_scale(vdd, self.vdd_nom, self.leakage_exponent)
+
+    def min_voltage_for_slack(self, max_delay_ps: float,
+                              clock_period_ps: float) -> float:
+        """Lowest supply voltage keeping ``max_delay_ps`` within the clock.
+
+        Given that timing-aware selection reduced the critical sensitized
+        delay to ``max_delay_ps`` while the accelerator keeps running at
+        the original ``clock_period_ps``, the circuit may be slowed by the
+        factor ``clock_period_ps / max_delay_ps``.  The search walks down
+        from the nominal voltage in :attr:`step` increments, exactly as a
+        designer would pick a tabulated operating point.
+
+        Returns the nominal voltage when there is no slack.
+        """
+        if max_delay_ps <= 0 or clock_period_ps <= 0:
+            raise ValueError("delays must be positive")
+        if max_delay_ps > clock_period_ps:
+            raise ValueError(
+                f"max delay {max_delay_ps} ps exceeds the clock period "
+                f"{clock_period_ps} ps; the circuit would not work at "
+                f"nominal voltage"
+            )
+        budget = clock_period_ps / max_delay_ps
+        best = self.vdd_nom
+        # Walk down in fixed steps; keep the lowest voltage that still fits.
+        steps = int(round((self.vdd_nom - self.vdd_min) / self.step))
+        for k in range(1, steps + 1):
+            vdd = round(self.vdd_nom - k * self.step, 10)
+            if vdd <= self.vth + 0.05:
+                break
+            if self.delay_scale(vdd) <= budget:
+                best = vdd
+            else:
+                break
+        return round(best, 2)
+
+    def power_scale(self, vdd: float, leakage_fraction: float) -> float:
+        """Total-power multiplier at ``vdd`` for a given leakage share.
+
+        Args:
+            vdd: Target supply voltage.
+            leakage_fraction: Fraction of total power that is leakage at
+                the nominal voltage (between 0 and 1).
+        """
+        if not 0.0 <= leakage_fraction <= 1.0:
+            raise ValueError("leakage_fraction must be within [0, 1]")
+        dyn = (1.0 - leakage_fraction) * self.dynamic_power_scale(vdd)
+        leak = leakage_fraction * self.leakage_power_scale(vdd)
+        return dyn + leak

@@ -1,0 +1,46 @@
+"""The PowerPruning method itself (paper Sec. III).
+
+* :mod:`repro.core.workloads` — bridges a trained quantized network to
+  the systolic-array power/statistics models.
+* :mod:`repro.core.pruning` — conventional magnitude pruning (the flow's
+  first step).
+* :mod:`repro.core.power_selection` — iterative power-threshold weight
+  selection with retraining (Sec. III-A + III-C).
+* :mod:`repro.core.delay_selection` — iterative delay-threshold weight
+  and activation selection with retraining (Sec. III-B + III-C).
+* :mod:`repro.core.voltage_scaling` — supply-voltage scaling from the
+  achieved delay reduction.
+* :mod:`repro.core.pipeline` — the end-to-end flow producing Table I
+  rows.
+* :mod:`repro.core.report` — result records and pretty-printing.
+"""
+
+from repro.core.workloads import LayerWorkload, extract_workloads
+from repro.core.pruning import magnitude_prune
+from repro.core.power_selection import (
+    PowerSelectionOutcome,
+    power_threshold_search,
+)
+from repro.core.delay_selection import (
+    DelaySelectionOutcome,
+    delay_threshold_search,
+)
+from repro.core.voltage_scaling import VoltageScalingOutcome, scale_voltage
+from repro.core.pipeline import PowerPruner, PipelineConfig
+from repro.core.report import PowerPruningReport, format_table1
+
+__all__ = [
+    "LayerWorkload",
+    "extract_workloads",
+    "magnitude_prune",
+    "power_threshold_search",
+    "PowerSelectionOutcome",
+    "delay_threshold_search",
+    "DelaySelectionOutcome",
+    "scale_voltage",
+    "VoltageScalingOutcome",
+    "PowerPruner",
+    "PipelineConfig",
+    "PowerPruningReport",
+    "format_table1",
+]

@@ -1,0 +1,119 @@
+"""Iterative delay-threshold weight/activation selection with retraining.
+
+Sec. III-B + III-C: starting at 170 ps the delay threshold is lowered in
+10 ps steps.  Each step runs the randomized removal (20 restarts), then
+retrains under the surviving weight *and* activation sets; the search
+stops when accuracy drops by about 5% of the original accuracy, and the
+best passing configuration is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.nn.layers import Module
+from repro.nn.restrict import ActivationFilter, WeightRestriction
+from repro.timing.profile import WeightTimingTable
+from repro.timing.selection import DelaySelector, SelectionResult
+
+#: The paper's schedule: 170 ps down to 140 ps in 10 ps steps.
+DEFAULT_THRESHOLDS_PS = (170.0, 160.0, 150.0, 140.0)
+
+RetrainFn = Callable[[Module], float]
+
+
+@dataclass
+class DelaySelectionOutcome:
+    """Result of the delay-threshold search.
+
+    Attributes:
+        threshold_ps: Accepted threshold (``None`` if none passed).
+        selection: Surviving weight/activation sets at that threshold.
+        accuracy: Accuracy after retraining there.
+        max_delay_ps: Sensitized delay of the surviving configuration.
+        history: ``(threshold, n_weights, n_acts, accuracy)`` per step.
+    """
+
+    threshold_ps: Optional[float]
+    selection: Optional[SelectionResult]
+    accuracy: float
+    max_delay_ps: float
+    history: List[Tuple[float, int, int, float]] = field(
+        default_factory=list)
+
+
+def delay_threshold_search(model: Module, table: WeightTimingTable,
+                           candidate_weights: Sequence[int],
+                           retrain: RetrainFn, original_accuracy: float,
+                           thresholds: Sequence[float] =
+                           DEFAULT_THRESHOLDS_PS,
+                           max_drop_fraction: float = 0.05,
+                           n_restarts: int = 20,
+                           seed: int = 2023) -> DelaySelectionOutcome:
+    """Lower the delay threshold while accuracy holds.
+
+    Args:
+        model: Power-selected, retrained network (modified in place; on
+            return it carries the accepted weight restriction and
+            activation filter).
+        table: Timing characterization of the candidate weights.
+        candidate_weights: Weight values that survived power selection.
+        retrain: Retrains the model in place, returns test accuracy.
+        original_accuracy: The network's original accuracy; the paper
+            stops when the drop reaches ~5% of it.
+        thresholds: Descending thresholds in ps.
+        max_drop_fraction: Relative accuracy-drop budget.
+        n_restarts: Randomized removal restarts per threshold.
+        seed: RNG seed for the removal.
+    """
+    thresholds = sorted(thresholds, reverse=True)
+    floor_accuracy = original_accuracy * (1.0 - max_drop_fraction)
+    selector = DelaySelector(table, n_restarts=n_restarts)
+    history: List[Tuple[float, int, int, float]] = []
+    accepted = None
+
+    start_state = model.state_dict()
+    for threshold in thresholds:
+        selection = selector.select(threshold,
+                                    candidate_weights=candidate_weights,
+                                    seed=seed)
+        if selection.n_weights < 2:
+            break  # removal left nothing trainable
+        model.load_state_dict(start_state)
+        model.set_weight_restriction(
+            WeightRestriction(selection.weights))
+        model.set_activation_filter(
+            ActivationFilter(selection.activations))
+        acc = retrain(model)
+        history.append((threshold, selection.n_weights,
+                        selection.n_activations, acc))
+        if acc >= floor_accuracy:
+            accepted = (threshold, selection, acc, model.state_dict())
+        else:
+            break
+
+    if accepted is None:
+        model.load_state_dict(start_state)
+        model.set_activation_filter(None)
+        return DelaySelectionOutcome(
+            threshold_ps=None,
+            selection=None,
+            accuracy=original_accuracy,
+            max_delay_ps=float(
+                max(table.max_delay_of(int(w)) for w in candidate_weights)
+            ),
+            history=history,
+        )
+
+    threshold, selection, acc, state = accepted
+    model.load_state_dict(state)
+    model.set_weight_restriction(WeightRestriction(selection.weights))
+    model.set_activation_filter(ActivationFilter(selection.activations))
+    return DelaySelectionOutcome(
+        threshold_ps=threshold,
+        selection=selection,
+        accuracy=acc,
+        max_delay_ps=selection.max_delay_ps,
+        history=history,
+    )

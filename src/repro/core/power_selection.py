@@ -1,0 +1,103 @@
+"""Iterative power-threshold weight selection with retraining.
+
+Sec. III-A3 + III-C: starting from the 900 µW threshold, lower it step by
+step; at each step restrict the network to the weight values below the
+threshold, retrain with the straight-through estimator, and stop when the
+inference accuracy starts to drop noticeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.restrict import WeightRestriction
+from repro.power.characterization import WeightPowerTable
+
+#: The paper's threshold schedule (µW), from the initial 900 downwards.
+DEFAULT_THRESHOLDS_UW = (900.0, 850.0, 825.0, 800.0)
+
+RetrainFn = Callable[[Module], float]
+
+
+@dataclass
+class PowerSelectionOutcome:
+    """Result of the power-threshold search.
+
+    Attributes:
+        threshold_uw: The accepted threshold (``None`` if even the first
+            threshold failed and the network stays unrestricted).
+        allowed_weights: Selected weight values.
+        accuracy: Accuracy after retraining at the accepted threshold.
+        history: ``(threshold, n_weights, accuracy)`` per tried step.
+    """
+
+    threshold_uw: Optional[float]
+    allowed_weights: np.ndarray
+    accuracy: float
+    history: List[Tuple[float, int, float]] = field(default_factory=list)
+
+    @property
+    def n_weights(self) -> int:
+        return int(self.allowed_weights.size)
+
+
+def power_threshold_search(model: Module, table: WeightPowerTable,
+                           retrain: RetrainFn, baseline_accuracy: float,
+                           thresholds: Sequence[float] =
+                           DEFAULT_THRESHOLDS_UW,
+                           max_drop: float = 0.03) -> PowerSelectionOutcome:
+    """Find the lowest power threshold the network tolerates.
+
+    Args:
+        model: Trained (and conventionally pruned) network; modified in
+            place — on return it carries the accepted restriction and the
+            retrained weights.
+        table: Per-weight power characterization.
+        retrain: Retrains the model in place and returns test accuracy.
+        baseline_accuracy: Accuracy before any restriction.
+        thresholds: Descending threshold schedule in µW.
+        max_drop: Acceptable absolute accuracy drop ("starts to drop
+            noticeably" operationalized).
+    """
+    thresholds = sorted(thresholds, reverse=True)
+    history: List[Tuple[float, int, float]] = []
+    accepted: Optional[Tuple[float, np.ndarray, float, dict]] = None
+
+    start_state = model.state_dict()
+    for threshold in thresholds:
+        allowed = table.select_below(threshold)
+        if allowed.size < 2:
+            break  # only the zero weight left; nothing can be learned
+        model.load_state_dict(start_state)
+        model.set_weight_restriction(WeightRestriction(allowed))
+        acc = retrain(model)
+        history.append((threshold, int(allowed.size), acc))
+        if acc >= baseline_accuracy - max_drop:
+            accepted = (threshold, allowed, acc, model.state_dict())
+        else:
+            break  # accuracy dropped noticeably; keep the previous step
+
+    if accepted is None:
+        # No threshold tolerated: revert to the unrestricted network.
+        model.load_state_dict(start_state)
+        model.set_weight_restriction(None)
+        return PowerSelectionOutcome(
+            threshold_uw=None,
+            allowed_weights=table.weights.copy(),
+            accuracy=baseline_accuracy,
+            history=history,
+        )
+
+    threshold, allowed, acc, state = accepted
+    model.load_state_dict(state)
+    model.set_weight_restriction(WeightRestriction(allowed))
+    return PowerSelectionOutcome(
+        threshold_uw=threshold,
+        allowed_weights=allowed,
+        accuracy=acc,
+        history=history,
+    )

@@ -1,0 +1,40 @@
+"""Conventional magnitude pruning (the flow's first step).
+
+The paper first maximizes the number of zero weights with standard
+magnitude pruning [3]: zero weights are free on the Optimized HW (clock
+gating) and cheapest on Standard HW, and they are always in the selected
+set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nn.layers import Module
+
+
+def magnitude_prune(model: Module, fraction: float,
+                    skip_last: bool = True) -> Dict[str, float]:
+    """Prune the smallest-magnitude weights of every conv/dense layer.
+
+    Args:
+        model: Network to prune in place (masks are installed so
+            retraining keeps the zeros).
+        fraction: Per-layer fraction of weights to remove.
+        skip_last: Leave the final classifier layer dense (standard
+            practice; the output layer is small and sensitive).
+
+    Returns:
+        Per-layer achieved sparsity, keyed by ``ClassName#index``.
+    """
+    layers = model.quantized_layers()
+    if not layers:
+        raise ValueError("model has no prunable layers")
+    sparsities: Dict[str, float] = {}
+    last = len(layers) - 1
+    for index, layer in enumerate(layers):
+        if skip_last and index == last:
+            continue
+        sparsity = layer.prune_smallest(fraction)
+        sparsities[f"{type(layer).__name__}#{index}"] = sparsity
+    return sparsities

@@ -1,0 +1,142 @@
+"""Result records and Table I formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.power.estimator import PowerBreakdown
+
+
+@dataclass
+class PowerPruningReport:
+    """Everything the paper's Table I reports for one network/dataset.
+
+    Power figures are whole-array averages in mW.  ``*_vs`` variants are
+    the proposed network *with* voltage scaling applied; the plain
+    ``prop`` variants are pre-scaling (used to isolate the voltage
+    contribution, Table I columns VSHW / VOHW).
+    """
+
+    network: str
+    dataset: str
+    accuracy_orig: float
+    accuracy_prop: float
+    power_std_orig: PowerBreakdown
+    power_std_prop: PowerBreakdown
+    power_std_prop_vs: PowerBreakdown
+    power_opt_orig: PowerBreakdown
+    power_opt_prop: PowerBreakdown
+    power_opt_prop_vs: PowerBreakdown
+    n_selected_weights: int
+    n_selected_activations: int
+    max_delay_reduction_ps: float
+    voltage_label: str
+    power_threshold_uw: Optional[float] = None
+    delay_threshold_ps: Optional[float] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Table I derived columns
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reduction(orig: PowerBreakdown, new: PowerBreakdown) -> float:
+        return 100.0 * (1.0 - new.total_uw / orig.total_uw)
+
+    @property
+    def reduction_std(self) -> float:
+        """Total power reduction on Standard HW (%)."""
+        return self._reduction(self.power_std_orig, self.power_std_prop_vs)
+
+    @property
+    def reduction_opt(self) -> float:
+        """Total power reduction on Optimized HW (%)."""
+        return self._reduction(self.power_opt_orig, self.power_opt_prop_vs)
+
+    @property
+    def vs_contribution_std(self) -> float:
+        """Share of Standard-HW reduction contributed by voltage scaling
+        (%, relative to the original power — Table I column VSHW)."""
+        saved = (self.power_std_prop.total_uw
+                 - self.power_std_prop_vs.total_uw)
+        return 100.0 * saved / self.power_std_orig.total_uw
+
+    @property
+    def vs_contribution_opt(self) -> float:
+        """Table I column VOHW."""
+        saved = (self.power_opt_prop.total_uw
+                 - self.power_opt_prop_vs.total_uw)
+        return 100.0 * saved / self.power_opt_orig.total_uw
+
+    def row(self) -> List[str]:
+        """One formatted Table I row."""
+        def mw(breakdown: PowerBreakdown) -> str:
+            return f"{breakdown.total_uw / 1000:.1f}"
+
+        return [
+            f"{self.network}-{self.dataset}",
+            f"{self.accuracy_orig * 100:.1f}%",
+            f"{self.accuracy_prop * 100:.1f}%",
+            mw(self.power_std_orig),
+            mw(self.power_std_prop_vs),
+            f"{self.reduction_std:.1f}%",
+            mw(self.power_opt_orig),
+            mw(self.power_opt_prop_vs),
+            f"{self.reduction_opt:.1f}%",
+            str(self.n_selected_weights),
+            str(self.n_selected_activations),
+            f"{self.max_delay_reduction_ps:.0f} ps",
+            self.voltage_label,
+            f"{self.vs_contribution_std:.1f}%",
+            f"{self.vs_contribution_opt:.1f}%",
+        ]
+
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable record (for EXPERIMENTS.md regeneration)."""
+        def pb(breakdown: PowerBreakdown) -> Dict[str, float]:
+            return {"dynamic_uw": breakdown.dynamic_uw,
+                    "leakage_uw": breakdown.leakage_uw}
+
+        return {
+            "network": self.network,
+            "dataset": self.dataset,
+            "accuracy_orig": self.accuracy_orig,
+            "accuracy_prop": self.accuracy_prop,
+            "power_std_orig": pb(self.power_std_orig),
+            "power_std_prop_vs": pb(self.power_std_prop_vs),
+            "power_opt_orig": pb(self.power_opt_orig),
+            "power_opt_prop_vs": pb(self.power_opt_prop_vs),
+            "reduction_std": self.reduction_std,
+            "reduction_opt": self.reduction_opt,
+            "n_selected_weights": self.n_selected_weights,
+            "n_selected_activations": self.n_selected_activations,
+            "max_delay_reduction_ps": self.max_delay_reduction_ps,
+            "voltage_label": self.voltage_label,
+            "vs_contribution_std": self.vs_contribution_std,
+            "vs_contribution_opt": self.vs_contribution_opt,
+            "power_threshold_uw": self.power_threshold_uw,
+            "delay_threshold_ps": self.delay_threshold_ps,
+        }
+
+
+TABLE1_HEADER = [
+    "Network-Dataset", "Acc.Orig", "Acc.Prop",
+    "StdHW Orig [mW]", "StdHW Prop [mW]", "StdHW Red.",
+    "OptHW Orig [mW]", "OptHW Prop [mW]", "OptHW Red.",
+    "Wei.", "Act.", "MaxDelay Red.", "Voltage", "VSHW", "VOHW",
+]
+
+
+def format_table1(reports: List[PowerPruningReport]) -> str:
+    """Render reports as the paper's Table I."""
+    rows = [TABLE1_HEADER] + [report.row() for report in reports]
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(TABLE1_HEADER))]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [cell.rjust(width) for cell, width in zip(row, widths)]
+        lines.append(" | ".join(cells))
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

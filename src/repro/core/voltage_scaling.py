@@ -1,0 +1,67 @@
+"""Supply-voltage scaling from the achieved delay reduction.
+
+After selection the maximum sensitized delay is below the clock period,
+so the supply can be lowered until the slowed circuit exactly fits the
+original clock again (paper Sec. III-C; relation from [16], power
+scaling per [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cells.voltage import VoltageModel
+
+
+@dataclass(frozen=True)
+class VoltageScalingOutcome:
+    """Chosen operating point and its scaling factors.
+
+    Attributes:
+        vdd: Scaled supply voltage (V).
+        vdd_nom: Nominal supply (V).
+        max_delay_ps: Sensitized delay before scaling.
+        clock_period_ps: Unchanged clock period.
+        dynamic_scale / leakage_scale: Power multipliers at ``vdd``.
+    """
+
+    vdd: float
+    vdd_nom: float
+    max_delay_ps: float
+    clock_period_ps: float
+    dynamic_scale: float
+    leakage_scale: float
+
+    @property
+    def delay_reduction_ps(self) -> float:
+        """Slack the selection opened up."""
+        return self.clock_period_ps - self.max_delay_ps
+
+    @property
+    def scaling_factor_label(self) -> str:
+        """Table I style ``0.71/0.8`` label."""
+        return f"{self.vdd:.2f}/{self.vdd_nom:.1f}"
+
+
+def scale_voltage(max_delay_ps: float, clock_period_ps: float = 180.0,
+                  model: Optional[VoltageModel] = None
+                  ) -> VoltageScalingOutcome:
+    """Pick the lowest supply that still meets the original clock.
+
+    Args:
+        max_delay_ps: Maximum sensitized delay after selection.
+        clock_period_ps: The accelerator's clock period (kept constant).
+        model: Voltage-scaling laws (defaults to the calibrated FinFET
+            model).
+    """
+    model = model or VoltageModel()
+    vdd = model.min_voltage_for_slack(max_delay_ps, clock_period_ps)
+    return VoltageScalingOutcome(
+        vdd=vdd,
+        vdd_nom=model.vdd_nom,
+        max_delay_ps=max_delay_ps,
+        clock_period_ps=clock_period_ps,
+        dynamic_scale=model.dynamic_power_scale(vdd),
+        leakage_scale=model.leakage_power_scale(vdd),
+    )

@@ -1,0 +1,101 @@
+"""Figure 7 — comparison with conventional pruning (Optimized HW).
+
+For each network: the baseline, the conventionally pruned network, and
+the proposed method's result — power (dynamic + leakage stacked) and
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.pipeline import PowerPruner
+from repro.experiments.config import (
+    NETWORK_SPECS,
+    NetworkSpec,
+    pipeline_config,
+)
+from repro.power.estimator import PowerBreakdown
+
+
+@dataclass
+class Fig7Bar:
+    """One bar of the Fig. 7 chart."""
+
+    stage: str
+    power: PowerBreakdown
+    accuracy: float
+
+
+@dataclass
+class Fig7Result:
+    """Per-network bars (Baseline / Pruned / Proposed)."""
+
+    bars: Dict[str, List[Fig7Bar]]
+
+    def reduction_vs_pruned(self, label: str) -> float:
+        """Power reduction of Proposed relative to Pruned (%)."""
+        stages = {bar.stage: bar for bar in self.bars[label]}
+        pruned = stages["Pruned"].power.total_uw
+        proposed = stages["Proposed"].power.total_uw
+        return 100.0 * (1.0 - proposed / pruned)
+
+
+def run(scale: str = "ci",
+        specs: Sequence[NetworkSpec] = NETWORK_SPECS) -> Fig7Result:
+    """Run the pipeline per network and extract the three stages."""
+    bars: Dict[str, List[Fig7Bar]] = {}
+    for spec in specs:
+        config = pipeline_config(spec, scale)
+        pruner = PowerPruner(config)
+        report = pruner.run()
+        pruned = report.extras["pruned"]
+        bars[spec.label] = [
+            Fig7Bar("Baseline", report.power_opt_orig,
+                    report.accuracy_orig),
+            Fig7Bar("Pruned", pruned["power_opt"], pruned["accuracy"]),
+            Fig7Bar("Proposed", report.power_opt_prop_vs,
+                    report.accuracy_prop),
+        ]
+    return Fig7Result(bars=bars)
+
+
+def format_chart(result: Fig7Result) -> str:
+    lines = []
+    for label, bars in result.bars.items():
+        lines.append(f"--- {label} (Optimized HW) ---")
+        peak = max(bar.power.total_uw for bar in bars)
+        for bar in bars:
+            total_mw = bar.power.total_uw / 1000
+            dyn_mw = bar.power.dynamic_uw / 1000
+            leak_mw = bar.power.leakage_uw / 1000
+            width = int(round(36 * bar.power.total_uw / peak))
+            leak_width = int(round(
+                width * bar.power.leakage_uw
+                / max(bar.power.total_uw, 1e-9)))
+            stacked = "#" * (width - leak_width) + "L" * leak_width
+            lines.append(
+                f"{bar.stage:>9}: {total_mw:7.1f} mW "
+                f"(dyn {dyn_mw:6.1f} + leak {leak_mw:5.1f}) "
+                f"acc {bar.accuracy * 100:5.1f}%  {stacked}"
+            )
+        lines.append(
+            f"   proposed cuts pruned power by "
+            f"{result.reduction_vs_pruned(label):.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(scale: str = "ci") -> Fig7Result:
+    result = run(scale)
+    print("=== Fig. 7: baseline vs pruned vs proposed ===")
+    print(format_chart(result))
+    print("paper observation: the proposed method significantly reduces "
+          "power below conventional pruning with only a slight accuracy "
+          "loss")
+    return result
+
+
+if __name__ == "__main__":
+    main()

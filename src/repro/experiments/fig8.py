@@ -1,0 +1,112 @@
+"""Figure 8 — tradeoff between power threshold and accuracy.
+
+For each network, sweep the weight-power threshold (None, 900, 850, 825,
+800 µW), restrict + retrain at each point, and record the number of
+surviving weight values, the Optimized-HW power, and the accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.runner import ExperimentContext
+from repro.nn.restrict import WeightRestriction
+from repro.power.estimator import PowerBreakdown
+
+#: The paper's sweep and the weight-value counts it reports.
+PAPER_SWEEP = (
+    (None, 255), (900.0, 86), (850.0, 61), (825.0, 48), (800.0, 36),
+)
+
+
+@dataclass
+class Fig8Point:
+    """One sweep point."""
+
+    threshold_uw: Optional[float]
+    n_weights: int
+    accuracy: float
+    power_opt: PowerBreakdown
+
+
+@dataclass
+class Fig8Result:
+    points: Dict[str, List[Fig8Point]]
+
+    def accuracies(self, label: str) -> List[float]:
+        return [p.accuracy for p in self.points[label]]
+
+
+def run(scale: str = "ci",
+        specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
+        thresholds: Sequence[Optional[float]] = (None, 900.0, 850.0,
+                                                 825.0, 800.0),
+        seed: int = 0) -> Fig8Result:
+    """Sweep the power threshold for each spec.
+
+    Defaults to LeNet-5 only at CI scale; pass ``specs=NETWORK_SPECS``
+    for all four panels.
+    """
+    points: Dict[str, List[Fig8Point]] = {}
+    for spec in specs:
+        context = ExperimentContext(spec, scale, seed=seed)
+        table = context.power_table
+        series: List[Fig8Point] = []
+        for threshold in thresholds:
+            model = context.reset_model()
+            if threshold is None:
+                allowed = table.weights.copy()
+                accuracy = context.accuracy_pruned
+            else:
+                allowed = table.select_below(threshold)
+                if allowed.size < 2:
+                    continue
+                model.set_weight_restriction(
+                    WeightRestriction(allowed))
+                accuracy = context.retrain(model)
+            __, power_opt = context.measure_power(model)
+            series.append(Fig8Point(
+                threshold_uw=threshold,
+                n_weights=int(allowed.size),
+                accuracy=accuracy,
+                power_opt=power_opt,
+            ))
+        points[spec.label] = series
+    return Fig8Result(points=points)
+
+
+def format_series(result: Fig8Result) -> str:
+    lines = []
+    for label, series in result.points.items():
+        lines.append(f"--- {label} ---")
+        lines.append("threshold[uW]  #weights  acc[%]  OptHW power[mW] "
+                     "(dyn+leak)")
+        for point in series:
+            threshold = ("None" if point.threshold_uw is None
+                         else f"{point.threshold_uw:.0f}")
+            lines.append(
+                f"{threshold:>13}  {point.n_weights:8d}  "
+                f"{point.accuracy * 100:6.1f}  "
+                f"{point.power_opt.total_uw / 1000:8.1f} "
+                f"({point.power_opt.dynamic_uw / 1000:.1f}+"
+                f"{point.power_opt.leakage_uw / 1000:.1f})"
+            )
+    lines.append("")
+    lines.append("paper sweep (threshold -> #weights): "
+                 + ", ".join(f"{t if t else 'None'}->{n}"
+                             for t, n in PAPER_SWEEP))
+    return "\n".join(lines)
+
+
+def main(scale: str = "ci", all_networks: bool = False) -> Fig8Result:
+    specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
+    result = run(scale, specs=specs)
+    print("=== Fig. 8: power threshold vs accuracy tradeoff ===")
+    print(format_series(result))
+    return result
+
+
+if __name__ == "__main__":
+    main(all_networks=True)

@@ -1,0 +1,112 @@
+"""Figure 9 — tradeoff between accuracy and selected activation values.
+
+At a fixed weight-power threshold (825 µW; 900 µW for EfficientNet), the
+delay threshold is swept from 180 ps down to 140 ps.  Each point runs the
+randomized weight/activation removal, retrains under the surviving sets,
+and records the number of surviving activation values and the accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.runner import ExperimentContext
+from repro.nn.restrict import ActivationFilter, WeightRestriction
+from repro.timing.selection import DelaySelector
+
+#: Paper: x-axis points (threshold ps -> #activation values for the
+#: CIFAR networks; EfficientNet numbers in parentheses in the figure).
+PAPER_SWEEP = ((180, 256), (170, 234), (160, 221), (150, 179), (140, 73))
+
+
+@dataclass
+class Fig9Point:
+    threshold_ps: float
+    n_weights: int
+    n_activations: int
+    accuracy: float
+
+
+@dataclass
+class Fig9Result:
+    points: Dict[str, List[Fig9Point]]
+
+
+def _weight_threshold_for(spec: NetworkSpec, scale: str) -> float:
+    """825 µW for the CIFAR networks, 900 µW for EfficientNet (paper).
+
+    At smoke scale only every 16th weight value is characterized, so the
+    paper's 825 µW would leave too few values to train at all; the sweep
+    then uses the looser 900 µW point (the delay axis is what the figure
+    studies).
+    """
+    if scale == "smoke" or spec.network == "efficientnet-b0-lite":
+        return 900.0
+    return 825.0
+
+
+def run(scale: str = "ci",
+        specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
+        thresholds: Sequence[float] = (180.0, 170.0, 160.0, 150.0, 140.0),
+        seed: int = 0) -> Fig9Result:
+    """Sweep the delay threshold per spec at its fixed power threshold."""
+    points: Dict[str, List[Fig9Point]] = {}
+    for spec in specs:
+        context = ExperimentContext(spec, scale, seed=seed)
+        power_table = context.power_table
+        candidates = power_table.select_below(
+            _weight_threshold_for(spec, scale))
+        timing_table = context.timing_table(candidates)
+        selector = DelaySelector(timing_table,
+                                 n_restarts=context.config.n_restarts)
+        series: List[Fig9Point] = []
+        for threshold in sorted(thresholds, reverse=True):
+            selection = selector.select(
+                threshold, candidate_weights=candidates, seed=seed)
+            if selection.n_weights < 2:
+                continue
+            model = context.reset_model()
+            model.set_weight_restriction(
+                WeightRestriction(selection.weights))
+            model.set_activation_filter(
+                ActivationFilter(selection.activations))
+            accuracy = context.retrain(model)
+            series.append(Fig9Point(
+                threshold_ps=threshold,
+                n_weights=selection.n_weights,
+                n_activations=selection.n_activations,
+                accuracy=accuracy,
+            ))
+        points[spec.label] = series
+    return Fig9Result(points=points)
+
+
+def format_series(result: Fig9Result) -> str:
+    lines = []
+    for label, series in result.points.items():
+        lines.append(f"--- {label} ---")
+        lines.append("max delay[ps]  #weights  #activations  acc[%]")
+        for point in series:
+            lines.append(
+                f"{point.threshold_ps:13.0f}  {point.n_weights:8d}  "
+                f"{point.n_activations:12d}  "
+                f"{point.accuracy * 100:6.1f}"
+            )
+    lines.append("")
+    lines.append("paper sweep (delay ps -> #activations): "
+                 + ", ".join(f"{t}->{n}" for t, n in PAPER_SWEEP))
+    return "\n".join(lines)
+
+
+def main(scale: str = "ci", all_networks: bool = False) -> Fig9Result:
+    specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
+    result = run(scale, specs=specs)
+    print("=== Fig. 9: delay threshold vs accuracy tradeoff ===")
+    print(format_series(result))
+    return result
+
+
+if __name__ == "__main__":
+    main(all_networks=True)

@@ -1,0 +1,126 @@
+"""Shared experiment context with lazy, cached stages.
+
+Several figures reuse the same expensive prefix (train the baseline,
+collect operand statistics, characterize weight power).  The context
+builds each stage once per (network, scale) and lets individual
+experiments branch off with their own sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.pipeline import PipelineConfig, PowerPruner
+from repro.core.pruning import magnitude_prune
+from repro.experiments.config import NetworkSpec, pipeline_config
+from repro.nn import Trainer, TrainingConfig
+from repro.nn.layers import Module
+from repro.power.characterization import WeightPowerTable
+from repro.systolic import TransitionStatsCollector
+from repro.timing.profile import WeightTimingTable
+
+
+class ExperimentContext:
+    """Lazy pipeline stages for one network/dataset at one scale."""
+
+    def __init__(self, spec: NetworkSpec, scale: str = "ci",
+                 seed: int = 0, verbose: bool = False) -> None:
+        self.spec = spec
+        self.scale = scale
+        self.config: PipelineConfig = pipeline_config(
+            spec, scale, seed=seed, verbose=verbose)
+        self.pruner = PowerPruner(self.config)
+        self._dataset = None
+        self._model: Optional[Module] = None
+        self._accuracy_orig: Optional[float] = None
+        self._accuracy_pruned: Optional[float] = None
+        self._pruned_state: Optional[dict] = None
+        self._stats: Optional[TransitionStatsCollector] = None
+        self._power_table: Optional[WeightPowerTable] = None
+        self._timing_tables: Dict[tuple, WeightTimingTable] = {}
+
+    # ------------------------------------------------------------------
+    # cached stages
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self):
+        if self._dataset is None:
+            self._dataset = self.pruner._build_dataset()
+        return self._dataset
+
+    @property
+    def model(self) -> Module:
+        """Baseline-trained, conventionally pruned, retrained model."""
+        if self._model is None:
+            from repro.models import build_model
+            from repro.nn.layers import seed_init
+
+            config = self.config
+            seed_init(config.seed)
+            model = build_model(
+                config.network, num_classes=config.num_classes,
+                width_mult=config.width_mult,
+                depth_mult=config.depth_mult)
+            trainer = Trainer(model, TrainingConfig(
+                epochs=config.baseline_epochs,
+                batch_size=config.batch_size, lr=config.lr,
+                seed=config.seed))
+            dataset = self.dataset
+            trainer.fit(dataset.x_train, dataset.y_train)
+            self._accuracy_orig = trainer.evaluate(
+                dataset.x_test, dataset.y_test)
+            magnitude_prune(model, config.prune_fraction)
+            self._accuracy_pruned = self.retrain(model)
+            self._pruned_state = model.state_dict()
+            self._model = model
+        return self._model
+
+    @property
+    def accuracy_orig(self) -> float:
+        self.model
+        return self._accuracy_orig
+
+    @property
+    def accuracy_pruned(self) -> float:
+        self.model
+        return self._accuracy_pruned
+
+    def reset_model(self) -> Module:
+        """Restore the model to its pruned-baseline state."""
+        model = self.model
+        model.load_state_dict(self._pruned_state)
+        model.set_weight_restriction(None)
+        model.set_activation_filter(None)
+        return model
+
+    @property
+    def stats(self) -> TransitionStatsCollector:
+        if self._stats is None:
+            self._stats = self.pruner.collect_statistics(
+                self.model, self.dataset)
+        return self._stats
+
+    @property
+    def power_table(self) -> WeightPowerTable:
+        if self._power_table is None:
+            self._power_table = self.pruner.characterize_power(self.stats)
+        return self._power_table
+
+    def timing_table(self, candidate_weights) -> WeightTimingTable:
+        key = tuple(sorted(int(w) for w in candidate_weights))
+        if key not in self._timing_tables:
+            self._timing_tables[key] = self.pruner.characterize_timing(
+                list(key))
+        return self._timing_tables[key]
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def retrain(self, model: Module) -> float:
+        """Retrain in place, return test accuracy."""
+        return self.pruner._retrain_fn(self.dataset)(model)
+
+    def measure_power(self, model: Module, vdd: Optional[float] = None):
+        """(Standard HW, Optimized HW) power of ``model``."""
+        return self.pruner.measure_power(model, self.dataset,
+                                         self.power_table, vdd=vdd)

@@ -1,0 +1,90 @@
+"""Table I — main results of the proposed method.
+
+Runs the full PowerPruning pipeline for the four network/dataset pairs
+and prints our Table I next to the paper's published row values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.pipeline import PowerPruner
+from repro.core.report import PowerPruningReport, format_table1
+from repro.experiments.config import (
+    NETWORK_SPECS,
+    NetworkSpec,
+    pipeline_config,
+)
+
+#: The paper's Table I, for side-by-side reporting.
+PAPER_TABLE1: Dict[str, Dict[str, object]] = {
+    "LeNet-5-CIFAR-10": {
+        "acc_orig": 80.7, "acc_prop": 78.4,
+        "std_orig": 281.6, "std_prop": 152.1, "std_red": 46.0,
+        "opt_orig": 280.4, "opt_prop": 73.1, "opt_red": 73.9,
+        "weights": 32, "acts": 176, "delay_red": 40,
+        "voltage": "0.71/0.8", "vshw": 13.7, "vohw": 6.4,
+    },
+    "ResNet-20-CIFAR-10": {
+        "acc_orig": 91.9, "acc_prop": 88.9,
+        "std_orig": 469.9, "std_prop": 230.6, "std_red": 50.9,
+        "opt_orig": 427.7, "opt_prop": 173.4, "opt_red": 59.4,
+        "weights": 32, "acts": 176, "delay_red": 40,
+        "voltage": "0.71/0.8", "vshw": 12.7, "vohw": 10.6,
+    },
+    "ResNet-50-CIFAR-100": {
+        "acc_orig": 79.9, "acc_prop": 78.4,
+        "std_orig": 509.1, "std_prop": 278.7, "std_red": 45.3,
+        "opt_orig": 510.8, "opt_prop": 140.8, "opt_red": 72.4,
+        "weights": 40, "acts": 220, "delay_red": 30,
+        "voltage": "0.73/0.8", "vshw": 10.6, "vohw": 5.2,
+    },
+    "EfficientNet-B0-Lite-ImageNet": {
+        "acc_orig": 74.4, "acc_prop": 72.9,
+        "std_orig": 152.0, "std_prop": 106.7, "std_red": 29.8,
+        "opt_orig": 134.2, "opt_prop": 78.5, "opt_red": 41.5,
+        "weights": 76, "acts": 244, "delay_red": 20,
+        "voltage": "0.75/0.8", "vshw": 8.8, "vohw": 8.0,
+    },
+}
+
+
+def run(scale: str = "ci",
+        specs: Sequence[NetworkSpec] = NETWORK_SPECS,
+        verbose: bool = False) -> List[PowerPruningReport]:
+    """Run the full pipeline for every spec; returns the reports."""
+    reports = []
+    for spec in specs:
+        config = pipeline_config(spec, scale, verbose=verbose)
+        reports.append(PowerPruner(config).run())
+    return reports
+
+
+def format_with_reference(reports: List[PowerPruningReport]) -> str:
+    """Our Table I plus the paper's numbers for the same rows."""
+    lines = ["=== Table I (this reproduction) ===",
+             format_table1(reports), "",
+             "=== Table I (paper, published) ==="]
+    for spec, report in zip(NETWORK_SPECS, reports):
+        paper = PAPER_TABLE1[spec.label]
+        lines.append(
+            f"{spec.label}: acc {paper['acc_orig']}%->{paper['acc_prop']}%"
+            f" | StdHW {paper['std_orig']}->{paper['std_prop']} mW"
+            f" ({paper['std_red']}%)"
+            f" | OptHW {paper['opt_orig']}->{paper['opt_prop']} mW"
+            f" ({paper['opt_red']}%)"
+            f" | wei {paper['weights']} act {paper['acts']}"
+            f" | {paper['delay_red']} ps | {paper['voltage']}"
+            f" | VS {paper['vshw']}%/{paper['vohw']}%"
+        )
+    return "\n".join(lines)
+
+
+def main(scale: str = "ci") -> List[PowerPruningReport]:
+    reports = run(scale)
+    print(format_with_reference(reports))
+    return reports
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""The four network architectures of the paper's evaluation.
+
+LeNet-5, ResNet-20, ResNet-50 and EfficientNet-B0-Lite, each built on the
+quantization-aware layers of :mod:`repro.nn` and scalable in width/depth
+so experiments can run at CI scale on a CPU while keeping the paper-scale
+configuration available.
+"""
+
+from repro.models.lenet import LeNet5
+from repro.models.resnet import ResNet, resnet20, resnet50
+from repro.models.efficientnet import EfficientNetB0Lite
+from repro.models.registry import MODEL_BUILDERS, build_model
+
+__all__ = [
+    "LeNet5",
+    "ResNet",
+    "resnet20",
+    "resnet50",
+    "EfficientNetB0Lite",
+    "MODEL_BUILDERS",
+    "build_model",
+]

@@ -1,0 +1,143 @@
+"""EfficientNet-B0-Lite, width/depth scalable, for small inputs.
+
+The "Lite" variants drop squeeze-and-excitation and swap SiLU for ReLU6,
+which is what makes them friendly to integer-only accelerators — exactly
+why the paper picks B0-Lite for its ImageNet experiment.  The block
+structure below follows the B0 stage table (expand ratios, strides,
+channel counts) scaled down for 32x32-class inputs: the stem stride and
+the first downsampling are reduced so the spatial dimensions survive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    QuantReLU,
+)
+from repro.nn.quant import QuantConfig
+
+
+class MBConvBlock(Module):
+    """Mobile inverted bottleneck: expand 1x1 -> depthwise -> project 1x1.
+
+    No squeeze-and-excitation (Lite variant).  A residual connection is
+    used when the stride is 1 and the channel count is preserved.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 expand_ratio: int, stride: int = 1, kernel: int = 3,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        mid = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand: Optional[Conv2d] = None
+        self.expand_bn: Optional[BatchNorm2d] = None
+        self.expand_act: Optional[QuantReLU] = None
+        if expand_ratio != 1:
+            self.expand = Conv2d(in_channels, mid, 1, bias=False,
+                                 quant=quant)
+            self.expand_bn = BatchNorm2d(mid)
+            self.expand_act = QuantReLU(quant, six=True)
+        self.depthwise = DepthwiseConv2d(mid, kernel, stride=stride,
+                                         pad=kernel // 2, bias=False,
+                                         quant=quant)
+        self.depthwise_bn = BatchNorm2d(mid)
+        self.depthwise_act = QuantReLU(quant, six=True)
+        self.project = Conv2d(mid, out_channels, 1, bias=False,
+                              quant=quant)
+        self.project_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        if self.expand is not None:
+            out = self.expand_act(self.expand_bn(self.expand(out)))
+        out = self.depthwise_act(self.depthwise_bn(self.depthwise(out)))
+        out = self.project_bn(self.project(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+#: B0 stage table: (expand_ratio, channels, n_blocks, stride, kernel).
+_B0_STAGES: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+
+class EfficientNetB0Lite(Module):
+    """EfficientNet-B0-Lite with scalable width/depth.
+
+    Args:
+        num_classes: Output classes.
+        width_mult / depth_mult: Compound-scaling style multipliers;
+            reduced-scale experiments use values < 1.
+        stages: How many of the seven B0 stages to keep (small inputs run
+            out of spatial resolution after ~4 downsamplings).
+        quant: Quantization configuration.
+    """
+
+    def __init__(self, num_classes: int = 1000, width_mult: float = 1.0,
+                 depth_mult: float = 1.0, stages: int = 5,
+                 in_channels: int = 3,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        quant = quant or QuantConfig()
+        if not 1 <= stages <= len(_B0_STAGES):
+            raise ValueError(
+                f"stages must be within 1..{len(_B0_STAGES)}"
+            )
+
+        def width(c: int) -> int:
+            return max(4, int(round(c * width_mult)))
+
+        def depth(n: int) -> int:
+            return max(1, int(round(n * depth_mult)))
+
+        stem_width = width(32)
+        self.stem = Conv2d(in_channels, stem_width, 3, stride=1, pad=1,
+                           bias=False, quant=quant)
+        self.stem_bn = BatchNorm2d(stem_width)
+        self.stem_act = QuantReLU(quant, six=True)
+
+        self.blocks: List[MBConvBlock] = []
+        channels = stem_width
+        for expand, c_out, n_blocks, stride, kernel in _B0_STAGES[:stages]:
+            c_out = width(c_out)
+            for index in range(depth(n_blocks)):
+                block_stride = stride if index == 0 else 1
+                self.blocks.append(
+                    MBConvBlock(channels, c_out, expand,
+                                stride=block_stride, kernel=kernel,
+                                quant=quant)
+                )
+                channels = c_out
+
+        head_width = width(1280 // 4)
+        self.head = Conv2d(channels, head_width, 1, bias=False,
+                           quant=quant)
+        self.head_bn = BatchNorm2d(head_width)
+        self.head_act = QuantReLU(quant, six=True)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(head_width, num_classes, quant=quant)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem_act(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            x = block(x)
+        x = self.head_act(self.head_bn(self.head(x)))
+        x = self.pool(x)
+        return self.classifier(x)

@@ -1,0 +1,60 @@
+"""LeNet-5 for 32x32 colour images (paper: LeNet-5 on CIFAR-10)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    QuantReLU,
+)
+from repro.nn.quant import QuantConfig
+from repro.nn.autograd import Tensor
+
+
+class LeNet5(Module):
+    """The classic two-conv / three-dense LeNet-5.
+
+    Args:
+        num_classes: Output classes.
+        in_channels: Input channels (3 for CIFAR-10-like data).
+        width_mult: Uniform channel/feature scaling for reduced-scale
+            runs (1.0 reproduces the classic 6/16/120/84 sizes).
+        quant: Quantization configuration (8-bit QAT by default).
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 width_mult: float = 1.0,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        quant = quant or QuantConfig()
+
+        def scaled(n: int) -> int:
+            return max(1, int(round(n * width_mult)))
+
+        c1, c2 = scaled(6), scaled(16)
+        f1, f2 = scaled(120), scaled(84)
+        self.conv1 = Conv2d(in_channels, c1, 5, pad=2, quant=quant)
+        self.act1 = QuantReLU(quant)
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(c1, c2, 5, quant=quant)
+        self.act2 = QuantReLU(quant)
+        self.pool2 = MaxPool2d(2)
+        self.flatten = Flatten()
+        self.fc1 = Linear(c2 * 6 * 6, f1, quant=quant)
+        self.act3 = QuantReLU(quant)
+        self.fc2 = Linear(f1, f2, quant=quant)
+        self.act4 = QuantReLU(quant)
+        self.fc3 = Linear(f2, num_classes, quant=quant)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.act1(self.conv1(x)))
+        x = self.pool2(self.act2(self.conv2(x)))
+        x = self.flatten(x)
+        x = self.act3(self.fc1(x))
+        x = self.act4(self.fc2(x))
+        return self.fc3(x)

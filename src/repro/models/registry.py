@@ -1,0 +1,68 @@
+"""Model registry keyed by the paper's network names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.models.efficientnet import EfficientNetB0Lite
+from repro.models.lenet import LeNet5
+from repro.models.resnet import resnet20, resnet50
+from repro.nn.layers import Module
+from repro.nn.quant import QuantConfig
+
+
+def _lenet5(num_classes: int, width_mult: float, depth_mult: float,
+            quant: Optional[QuantConfig]) -> Module:
+    return LeNet5(num_classes=num_classes, width_mult=width_mult,
+                  quant=quant)
+
+
+def _resnet20(num_classes: int, width_mult: float, depth_mult: float,
+              quant: Optional[QuantConfig]) -> Module:
+    return resnet20(num_classes=num_classes, width_mult=width_mult,
+                    depth_mult=depth_mult, quant=quant)
+
+
+def _resnet50(num_classes: int, width_mult: float, depth_mult: float,
+              quant: Optional[QuantConfig]) -> Module:
+    return resnet50(num_classes=num_classes, width_mult=width_mult,
+                    depth_mult=depth_mult, quant=quant)
+
+
+def _efficientnet_b0_lite(num_classes: int, width_mult: float,
+                          depth_mult: float,
+                          quant: Optional[QuantConfig]) -> Module:
+    return EfficientNetB0Lite(num_classes=num_classes,
+                              width_mult=width_mult,
+                              depth_mult=depth_mult, quant=quant)
+
+
+#: Builders keyed by the names used in the paper's Table I.
+MODEL_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "lenet5": _lenet5,
+    "resnet20": _resnet20,
+    "resnet50": _resnet50,
+    "efficientnet-b0-lite": _efficientnet_b0_lite,
+}
+
+
+def build_model(name: str, num_classes: int, width_mult: float = 1.0,
+                depth_mult: float = 1.0,
+                quant: Optional[QuantConfig] = None) -> Module:
+    """Instantiate a registered architecture.
+
+    Args:
+        name: One of ``lenet5``, ``resnet20``, ``resnet50``,
+            ``efficientnet-b0-lite``.
+        num_classes: Output classes.
+        width_mult / depth_mult: Reduced-scale multipliers.
+        quant: Quantization configuration (8-bit QAT default).
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: "
+            f"{sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(num_classes, width_mult, depth_mult, quant)

@@ -1,0 +1,162 @@
+"""CIFAR-style ResNets: ResNet-20 (basic blocks) and ResNet-50
+(bottleneck blocks), both width/depth scalable.
+
+The paper evaluates ResNet-20 on CIFAR-10 and ResNet-50 on CIFAR-100;
+both operate on 32x32 inputs with the usual CIFAR stem (3x3 conv, no
+max-pool).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    QuantReLU,
+)
+from repro.nn.quant import QuantConfig
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity/projection shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 stride: int = 1,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            pad=1, bias=False, quant=quant)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.act1 = QuantReLU(quant)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, pad=1,
+                            bias=False, quant=quant)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.act2 = QuantReLU(quant)
+        self.shortcut: Optional[Module] = None
+        self.shortcut_bn: Optional[Module] = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1,
+                                   stride=stride, bias=False, quant=quant)
+            self.shortcut_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        residual = x
+        if self.shortcut is not None:
+            residual = self.shortcut_bn(self.shortcut(x))
+        return self.act2(out + residual)
+
+
+class BottleneckBlock(Module):
+    """1x1 reduce -> 3x3 -> 1x1 expand with shortcut (expansion 4)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, mid_channels: int,
+                 stride: int = 1,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        out_channels = mid_channels * self.expansion
+        self.conv1 = Conv2d(in_channels, mid_channels, 1, bias=False,
+                            quant=quant)
+        self.bn1 = BatchNorm2d(mid_channels)
+        self.act1 = QuantReLU(quant)
+        self.conv2 = Conv2d(mid_channels, mid_channels, 3, stride=stride,
+                            pad=1, bias=False, quant=quant)
+        self.bn2 = BatchNorm2d(mid_channels)
+        self.act2 = QuantReLU(quant)
+        self.conv3 = Conv2d(mid_channels, out_channels, 1, bias=False,
+                            quant=quant)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.act3 = QuantReLU(quant)
+        self.shortcut: Optional[Module] = None
+        self.shortcut_bn: Optional[Module] = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1,
+                                   stride=stride, bias=False, quant=quant)
+            self.shortcut_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.act2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        residual = x
+        if self.shortcut is not None:
+            residual = self.shortcut_bn(self.shortcut(x))
+        return self.act3(out + residual)
+
+
+class ResNet(Module):
+    """CIFAR-style residual network.
+
+    Args:
+        block: ``BasicBlock`` or ``BottleneckBlock``.
+        blocks_per_stage: Number of blocks in each of the three stages.
+        base_width: Channels of the first stage (doubles per stage).
+        num_classes: Output classes.
+        quant: Quantization configuration.
+    """
+
+    def __init__(self, block, blocks_per_stage: List[int],
+                 base_width: int = 16, num_classes: int = 10,
+                 in_channels: int = 3,
+                 quant: Optional[QuantConfig] = None) -> None:
+        super().__init__()
+        quant = quant or QuantConfig()
+        self.stem = Conv2d(in_channels, base_width, 3, pad=1, bias=False,
+                           quant=quant)
+        self.stem_bn = BatchNorm2d(base_width)
+        self.stem_act = QuantReLU(quant)
+
+        self.blocks: List[Module] = []
+        channels = base_width
+        for stage, n_blocks in enumerate(blocks_per_stage):
+            stage_width = base_width * (2 ** stage)
+            for index in range(n_blocks):
+                stride = 2 if stage > 0 and index == 0 else 1
+                self.blocks.append(
+                    block(channels, stage_width, stride=stride,
+                          quant=quant)
+                )
+                expansion = getattr(block, "expansion", 1)
+                channels = stage_width * expansion
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(channels, num_classes, quant=quant)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem_act(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            x = block(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+def resnet20(num_classes: int = 10, width_mult: float = 1.0,
+             depth_mult: float = 1.0,
+             quant: Optional[QuantConfig] = None) -> ResNet:
+    """ResNet-20: three stages of three basic blocks (16/32/64 wide)."""
+    n = max(1, int(round(3 * depth_mult)))
+    width = max(4, int(round(16 * width_mult)))
+    return ResNet(BasicBlock, [n, n, n], base_width=width,
+                  num_classes=num_classes, quant=quant)
+
+
+def resnet50(num_classes: int = 100, width_mult: float = 1.0,
+             depth_mult: float = 1.0,
+             quant: Optional[QuantConfig] = None) -> ResNet:
+    """ResNet-50-style bottleneck network adapted to 32x32 inputs.
+
+    Three stages with [3, 4, 6]-ish block counts (the classic ImageNet
+    stage of 3 blocks at stride 32 does not fit 32x32 inputs, so the
+    paper-standard CIFAR adaptation with three stages is used).
+    """
+    counts = [max(1, int(round(c * depth_mult))) for c in (3, 4, 6)]
+    width = max(4, int(round(16 * width_mult)))
+    return ResNet(BottleneckBlock, counts, base_width=width,
+                  num_classes=num_classes, quant=quant)

@@ -1,0 +1,31 @@
+"""Gate-level netlist data structures and arithmetic-circuit generators.
+
+This subpackage plays the role of the authors' synthesized RTL: it builds
+an explicit gate-level description of the 8-bit signed multiplier, the
+partial-sum adder and the complete MAC unit of the systolic array, using
+the cells of :mod:`repro.cells`.  The netlists are consumed by the logic,
+power and timing engines in :mod:`repro.sim`.
+"""
+
+from repro.netlist.gates import GateType, Netlist
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.adder import ripple_carry_adder, kogge_stone_adder
+from repro.netlist.multiplier import (
+    booth_multiplier,
+    signed_array_multiplier,
+)
+from repro.netlist.mac import MacUnit, build_mac_unit
+from repro.netlist.verilog import to_verilog
+
+__all__ = [
+    "GateType",
+    "Netlist",
+    "NetlistBuilder",
+    "ripple_carry_adder",
+    "kogge_stone_adder",
+    "booth_multiplier",
+    "signed_array_multiplier",
+    "MacUnit",
+    "build_mac_unit",
+    "to_verilog",
+]

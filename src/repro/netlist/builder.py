@@ -1,0 +1,118 @@
+"""Convenience wrapper for composing netlists out of arithmetic idioms.
+
+The :class:`NetlistBuilder` adds bus handling and the classic gate recipes
+(half adder, full adder, two's-complement helpers) on top of the flat
+:class:`~repro.netlist.gates.Netlist`.  All generators in this package are
+written against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.gates import GateType, Netlist
+
+
+class NetlistBuilder:
+    """Structured construction helper around a :class:`Netlist`."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.netlist = Netlist(name)
+        self._const0: int = -1
+        self._const1: int = -1
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def input_bus(self, prefix: str, width: int) -> List[int]:
+        """Create inputs ``prefix[0..width-1]`` (LSB first)."""
+        return [
+            self.netlist.add_input(f"{prefix}[{i}]") for i in range(width)
+        ]
+
+    def const(self, value: bool) -> int:
+        """Shared constant source (created once per polarity)."""
+        if value:
+            if self._const1 < 0:
+                self._const1 = self.netlist.add_const(True)
+            return self._const1
+        if self._const0 < 0:
+            self._const0 = self.netlist.add_const(False)
+        return self._const0
+
+    # ------------------------------------------------------------------
+    # primitive gates
+    # ------------------------------------------------------------------
+    def inv(self, a: int) -> int:
+        return self.netlist.add_gate(GateType.INV, a)
+
+    def buf(self, a: int) -> int:
+        return self.netlist.add_gate(GateType.BUF, a)
+
+    def and2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.AND2, a, b)
+
+    def or2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.OR2, a, b)
+
+    def nand2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.NAND2, a, b)
+
+    def nor2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.NOR2, a, b)
+
+    def xor2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.XOR2, a, b)
+
+    def xnor2(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(GateType.XNOR2, a, b)
+
+    def mux2(self, select: int, a: int, b: int) -> int:
+        """``b`` when ``select`` is high, else ``a``."""
+        return self.netlist.add_gate(GateType.MUX2, select, a, b)
+
+    # ------------------------------------------------------------------
+    # arithmetic idioms
+    # ------------------------------------------------------------------
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)`` of a half adder."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)`` of a textbook two-XOR full adder."""
+        axb = self.xor2(a, b)
+        total = self.xor2(axb, cin)
+        carry = self.or2(self.and2(a, b), self.and2(axb, cin))
+        return total, carry
+
+    def and_bus(self, bus: Sequence[int], bit: int) -> List[int]:
+        """AND every wire of ``bus`` with the single wire ``bit``."""
+        return [self.and2(wire, bit) for wire in bus]
+
+    def invert_bus(self, bus: Sequence[int]) -> List[int]:
+        """Bitwise complement of a bus."""
+        return [self.inv(wire) for wire in bus]
+
+    def sign_extend(self, bus: Sequence[int], width: int) -> List[int]:
+        """Sign-extend ``bus`` (two's complement, LSB first) to ``width``."""
+        if width < len(bus):
+            raise ValueError("cannot sign-extend to a narrower width")
+        bus = list(bus)
+        return bus + [bus[-1]] * (width - len(bus))
+
+    def shift_left(self, bus: Sequence[int], amount: int,
+                   width: int) -> List[int]:
+        """Logical left shift by ``amount``, truncated/padded to ``width``."""
+        zero = self.const(False)
+        shifted = [zero] * amount + list(bus)
+        shifted = shifted[:width]
+        return shifted + [zero] * (width - len(shifted))
+
+    def mark_output_bus(self, prefix: str, bus: Sequence[int]) -> None:
+        """Expose ``bus`` as outputs ``prefix[0..n-1]``."""
+        for i, net in enumerate(bus):
+            self.netlist.mark_output(f"{prefix}[{i}]", net)
+
+    def build(self) -> Netlist:
+        """Return the underlying netlist."""
+        return self.netlist

@@ -1,0 +1,138 @@
+"""The MAC unit of the systolic array, as three related netlists.
+
+The paper analyzes the MAC in two halves (Sec. III-B): the multiplier gets
+*dynamic* timing analysis per weight value, while the wide partial-sum
+adder gets *static* timing analysis, and the two are composed through the
+per-product-bit delays (Fig. 5).  To support that flow we expose the MAC
+as three netlists sharing bit conventions:
+
+* ``multiplier`` — activation x weight -> product (16 bits),
+* ``adder``      — product + partial sum -> result (e.g. 22 bits),
+* ``full``       — both composed, used for power characterization and for
+  validating the split timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.netlist.adder import kogge_stone_adder
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import Netlist
+from repro.netlist.multiplier import booth_multiplier, signed_array_multiplier
+
+ACT_BITS = 8
+WEIGHT_BITS = 8
+PRODUCT_BITS = 16
+PSUM_BITS = 22
+
+#: Multiplier generator per supported style.
+_MULTIPLIER_STYLES = {
+    "booth": booth_multiplier,
+    "array": signed_array_multiplier,
+}
+
+
+@dataclass
+class MacUnit:
+    """Gate-level views of one MAC processing element.
+
+    Attributes:
+        full: Complete MAC netlist with inputs ``act``, ``w``, ``psum``
+            and outputs ``product`` (16 bits) and ``result``.
+        multiplier: Multiplier-only netlist (inputs ``act``/``w``, output
+            ``product``) used for per-weight dynamic timing analysis.
+        adder: Adder-only netlist (inputs ``product``/``psum``, output
+            ``result``) used for static timing analysis.
+        act_bits / weight_bits / product_bits / psum_bits: Bus widths.
+    """
+
+    full: Netlist
+    multiplier: Netlist
+    adder: Netlist
+    act_bits: int = ACT_BITS
+    weight_bits: int = WEIGHT_BITS
+    product_bits: int = PRODUCT_BITS
+    psum_bits: int = PSUM_BITS
+    style: str = "booth"
+
+    def cell_counts(self) -> dict:
+        """Cell histogram of the full MAC (for reporting)."""
+        return self.full.cell_counts()
+
+
+def _build_multiplier(act_bits: int, weight_bits: int, product_bits: int,
+                      style: str) -> Netlist:
+    builder = NetlistBuilder("multiplier")
+    act = builder.input_bus("act", act_bits)
+    weight = builder.input_bus("w", weight_bits)
+    generate = _MULTIPLIER_STYLES[style]
+    product = generate(builder, act, weight, product_bits)
+    builder.mark_output_bus("product", product)
+    return builder.build()
+
+
+def _build_adder(product_bits: int, psum_bits: int) -> Netlist:
+    builder = NetlistBuilder("adder")
+    product = builder.input_bus("product", product_bits)
+    psum = builder.input_bus("psum", psum_bits)
+    product_ext = builder.sign_extend(product, psum_bits)
+    result = kogge_stone_adder(builder, psum, product_ext)
+    builder.mark_output_bus("result", result)
+    return builder.build()
+
+
+def _build_full(act_bits: int, weight_bits: int, product_bits: int,
+                psum_bits: int, style: str) -> Netlist:
+    builder = NetlistBuilder("mac")
+    act = builder.input_bus("act", act_bits)
+    weight = builder.input_bus("w", weight_bits)
+    psum = builder.input_bus("psum", psum_bits)
+    generate = _MULTIPLIER_STYLES[style]
+    product = generate(builder, act, weight, product_bits)
+    builder.mark_output_bus("product", product)
+    product_ext = builder.sign_extend(product, psum_bits)
+    result = kogge_stone_adder(builder, psum, product_ext)
+    builder.mark_output_bus("result", result)
+    return builder.build()
+
+
+def build_mac_unit(act_bits: int = ACT_BITS,
+                   weight_bits: int = WEIGHT_BITS,
+                   product_bits: int = PRODUCT_BITS,
+                   psum_bits: int = PSUM_BITS,
+                   style: str = "booth") -> MacUnit:
+    """Generate the three netlist views of a MAC processing element.
+
+    The defaults (8-bit operands, 16-bit product, 22-bit partial sum,
+    Booth multiplier) match the paper's 64x64 systolic array: 22 bits
+    accumulate 64 signed 8x8 products (16 + log2(64) = 22), and a Booth
+    datapath exhibits the per-weight power/timing spread of Figs. 2-3.
+
+    Args:
+        act_bits / weight_bits / product_bits / psum_bits: Bus widths.
+        style: ``"booth"`` (default) or ``"array"``; see
+            :mod:`repro.netlist.multiplier`.
+    """
+    if product_bits < act_bits + weight_bits:
+        raise ValueError(
+            "product bus too narrow for an exact signed product"
+        )
+    if psum_bits < product_bits:
+        raise ValueError("partial-sum bus must be at least product width")
+    if style not in _MULTIPLIER_STYLES:
+        raise ValueError(
+            f"unknown multiplier style {style!r}; "
+            f"choose from {sorted(_MULTIPLIER_STYLES)}"
+        )
+    return MacUnit(
+        full=_build_full(act_bits, weight_bits, product_bits, psum_bits,
+                         style),
+        multiplier=_build_multiplier(act_bits, weight_bits, product_bits,
+                                     style),
+        adder=_build_adder(product_bits, psum_bits),
+        act_bits=act_bits,
+        weight_bits=weight_bits,
+        product_bits=product_bits,
+        psum_bits=psum_bits,
+        style=style,
+    )

@@ -1,0 +1,155 @@
+"""Signed 8x8 multiplier generators (Booth radix-4 and array styles).
+
+The systolic array's MAC multiplies an 8-bit signed weight with an 8-bit
+signed activation.  Two classic two's-complement implementations are
+provided:
+
+* :func:`booth_multiplier` — modified-Booth (radix-4) multiplier.  The
+  weight drives the Booth encoders, so a *fixed* weight value freezes the
+  digit selection: weights with few nonzero Booth digits (0, powers of
+  two, ±2) activate a single partial-product row and sensitize short
+  paths, while digit-dense weights such as -105 (four nonzero digits)
+  light up the whole reduction tree.  This reproduces the per-weight
+  power/timing spread of the paper's synthesized MAC (Figs. 2 and 3),
+  including its anchor points: -2 is cheap, -105 is expensive.
+* :func:`signed_array_multiplier` — AND-gated partial-product array with
+  a subtracted sign row; kept as a second implementation for ablations
+  and cross-checks.
+
+PowerPruning itself is implementation-agnostic: it only consumes the
+measured per-weight characteristics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.adder import kogge_stone_adder, ripple_carry_adder
+from repro.netlist.builder import NetlistBuilder
+
+
+def signed_array_multiplier(builder: NetlistBuilder,
+                            activation: Sequence[int],
+                            weight: Sequence[int],
+                            product_width: int = 16) -> List[int]:
+    """Build ``activation * weight`` for two's-complement inputs.
+
+    Args:
+        builder: Target builder.
+        activation: LSB-first activation bus (the streamed operand).
+        weight: LSB-first weight bus (the stationary operand; its bits
+            gate the partial-product rows).
+        product_width: Width of the returned product bus; 16 bits hold any
+            8x8 signed product exactly.
+
+    Returns:
+        LSB-first product bus of ``product_width`` nets.
+    """
+    n_weight = len(weight)
+    if n_weight < 2:
+        raise ValueError("weight must be at least 2 bits (sign + value)")
+
+    # Sign-extend the activation once; every row is a shifted, gated copy.
+    act_ext = builder.sign_extend(activation, product_width)
+
+    # Positive rows: weight bits 0..n-2 contribute +(activation << j).
+    accumulator: List[int] = None  # type: ignore[assignment]
+    for j in range(n_weight - 1):
+        shifted = builder.shift_left(act_ext, j, product_width)
+        row = builder.and_bus(shifted, weight[j])
+        if accumulator is None:
+            accumulator = row
+        else:
+            accumulator = ripple_carry_adder(builder, accumulator, row)
+
+    # Sign row: the MSB of a two's-complement weight has value -2^(n-1),
+    # so subtract (activation << n-1) when it is set.  Subtraction is
+    # add-inverted-plus-one, with both the inversion and the carry-in
+    # gated by the weight's sign bit:  acc + ~(row) + 1  ==  acc - row.
+    sign_bit = weight[n_weight - 1]
+    shifted = builder.shift_left(act_ext, n_weight - 1, product_width)
+    sign_row = builder.and_bus(shifted, sign_bit)
+    inverted = [builder.xor2(bit, sign_bit) for bit in sign_row]
+    # When sign_bit=0 the row is all zeros and inverted stays all zeros
+    # with carry-in 0 (no-op); when sign_bit=1 we add ~row + 1.
+    product = ripple_carry_adder(builder, accumulator, inverted,
+                                 cin=sign_bit)
+    return product
+
+
+def _booth_encoder(builder: NetlistBuilder, y1: int, y0: int,
+                   ym: int) -> Tuple[int, int, int]:
+    """Radix-4 Booth encoder for one digit.
+
+    Args:
+        builder: Target builder.
+        y1: Weight bit ``2i+1`` (the digit's sign-ish bit).
+        y0: Weight bit ``2i``.
+        ym: Weight bit ``2i-1`` (constant 0 for the first digit).
+
+    Returns:
+        ``(one, two, neg)`` select wires: magnitude 1x, magnitude 2x and
+        negate.  ``one`` and ``two`` are mutually exclusive; the encoded
+        digit is ``(-1)**neg * (one + 2*two)`` informally, with the
+        all-ones group (digit 0) yielding ``neg = 0``.
+    """
+    one = builder.xor2(y0, ym)
+    # two = (y1 & ~y0 & ~ym) | (~y1 & y0 & ym)  == y1 XOR y0y m pattern
+    y0_and_ym = builder.and2(y0, ym)
+    y0_nor_ym = builder.nor2(y0, ym)
+    two = builder.or2(
+        builder.and2(y1, y0_nor_ym),
+        builder.and2(builder.inv(y1), y0_and_ym),
+    )
+    neg = builder.and2(y1, builder.inv(y0_and_ym))
+    return one, two, neg
+
+
+def booth_multiplier(builder: NetlistBuilder,
+                     activation: Sequence[int],
+                     weight: Sequence[int],
+                     product_width: int = 16) -> List[int]:
+    """Build ``activation * weight`` with a modified-Booth multiplier.
+
+    Args:
+        builder: Target builder.
+        activation: LSB-first activation bus (streamed operand).
+        weight: LSB-first weight bus (stationary operand; drives the Booth
+            encoders).  Must have even width.
+        product_width: Output width; 16 bits are exact for 8x8.
+
+    Returns:
+        LSB-first product bus of ``product_width`` nets.
+    """
+    n_weight = len(weight)
+    if n_weight % 2 != 0:
+        raise ValueError("Booth radix-4 needs an even weight width")
+
+    zero = builder.const(False)
+    a_1x = builder.sign_extend(activation, product_width)
+    a_2x = builder.shift_left(a_1x, 1, product_width)
+
+    rows: List[List[int]] = []
+    correction = [zero] * product_width
+    for digit in range(n_weight // 2):
+        y1 = weight[2 * digit + 1]
+        y0 = weight[2 * digit]
+        ym = weight[2 * digit - 1] if digit > 0 else zero
+        one, two, neg = _booth_encoder(builder, y1, y0, ym)
+
+        # Select |digit| * A, then conditionally complement; the missing
+        # "+1" of two's complement goes into the shared correction word at
+        # bit 2*digit (see module docstring for the algebra).
+        magnitude = [
+            builder.or2(builder.and2(one, b1), builder.and2(two, b2))
+            for b1, b2 in zip(a_1x, a_2x)
+        ]
+        signed = [builder.xor2(bit, neg) for bit in magnitude]
+        rows.append(builder.shift_left(signed, 2 * digit, product_width))
+        correction[2 * digit] = neg
+
+    total = rows[0]
+    for row in rows[1:]:
+        total = ripple_carry_adder(builder, total, row)
+    # Fold in the negation corrections with a fast final adder.
+    return kogge_stone_adder(builder, total, correction)

@@ -1,0 +1,61 @@
+"""Minimal NumPy neural-network framework with quantization-aware training.
+
+Substitute for the TensorFlow + QAT stack the paper trains with.  The
+framework is a small define-by-run autograd engine
+(:mod:`repro.nn.autograd`) plus the layers, quantizers and restriction
+operators PowerPruning needs:
+
+* 8-bit symmetric fake quantization with the straight-through estimator
+  (:mod:`repro.nn.quant`), after Jacob et al. [5] / Bengio et al. [15];
+* weight projection onto a selected value set and activation filtering
+  (:mod:`repro.nn.restrict`), the Sec. III-C training restrictions;
+* conv/dense/batch-norm/pooling layers (:mod:`repro.nn.layers`),
+  optimizers (:mod:`repro.nn.optim`) and a training loop
+  (:mod:`repro.nn.trainer`).
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.quant import QuantConfig, fake_quantize_ste
+from repro.nn.restrict import ActivationFilter, WeightRestriction
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    QuantReLU,
+    Sequential,
+)
+from repro.nn.losses import accuracy, softmax_cross_entropy
+from repro.nn.optim import SGD, Adam
+from repro.nn.trainer import Trainer, TrainingConfig
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "QuantConfig",
+    "fake_quantize_ste",
+    "WeightRestriction",
+    "ActivationFilter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "QuantReLU",
+    "softmax_cross_entropy",
+    "accuracy",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingConfig",
+]

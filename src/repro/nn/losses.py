@@ -1,0 +1,46 @@
+"""Loss and metric functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, _make
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy over a batch (fused, numerically stable).
+
+    Args:
+        logits: ``(batch, classes)`` scores.
+        labels: ``(batch,)`` integer class indices.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be (batch,) integers")
+    z = logits.data
+    z = z - z.max(axis=1, keepdims=True)
+    expz = np.exp(z)
+    probs = expz / expz.sum(axis=1, keepdims=True)
+    batch = z.shape[0]
+    picked = probs[np.arange(batch), labels]
+    loss = -np.log(np.maximum(picked, 1e-12)).mean()
+
+    def backward():
+        if logits.requires_grad:
+            grad = probs.copy()
+            grad[np.arange(batch), labels] -= 1.0
+            logits._accumulate(grad * (out.grad / batch))
+
+    out = _make(np.asarray(loss, dtype=np.float32), (logits,), backward)
+    return out
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of raw scores against integer labels."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError("logits (batch, classes) / labels (batch,)")
+    return float((logits.argmax(axis=1) == labels).mean())

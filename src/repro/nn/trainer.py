@@ -1,0 +1,136 @@
+"""Training loop with quantization-aware training support."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Module
+from repro.nn.losses import accuracy, softmax_cross_entropy
+from repro.nn.optim import SGD, Adam, Optimizer
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    Attributes:
+        epochs: Training epochs.
+        batch_size: Mini-batch size.
+        lr: Initial learning rate.
+        momentum: SGD momentum (ignored by Adam).
+        weight_decay: L2 penalty.
+        optimizer: ``"sgd"`` or ``"adam"``.
+        lr_decay_epochs: Epochs at which the LR is divided by 10.
+        seed: Shuffling seed.
+        verbose: Print per-epoch progress.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    optimizer: str = "sgd"
+    lr_decay_epochs: tuple = ()
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics of a finished run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+
+class Trainer:
+    """Mini-batch trainer driving a :class:`Module`.
+
+    The trainer re-applies pruning masks after every optimizer step so
+    that conventionally pruned weights stay at exactly zero, matching how
+    the paper combines pruning with QAT retraining.
+    """
+
+    def __init__(self, model: Module, config: TrainingConfig) -> None:
+        self.model = model
+        self.config = config
+        params = model.parameters()
+        if config.optimizer == "sgd":
+            self.optimizer: Optimizer = SGD(
+                params, lr=config.lr, momentum=config.momentum,
+                weight_decay=config.weight_decay)
+        elif config.optimizer == "adam":
+            self.optimizer = Adam(params, lr=config.lr,
+                                  weight_decay=config.weight_decay)
+        else:
+            raise ValueError(
+                f"unknown optimizer {config.optimizer!r}"
+            )
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray,
+            x_test: Optional[np.ndarray] = None,
+            y_test: Optional[np.ndarray] = None) -> TrainingHistory:
+        """Train the model; returns the per-epoch history."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        history = TrainingHistory()
+        n = x_train.shape[0]
+        for epoch in range(config.epochs):
+            if epoch in config.lr_decay_epochs:
+                self.optimizer.lr /= 10.0
+            self.model.train()
+            order = rng.permutation(n)
+            losses = []
+            hits = 0
+            for start in range(0, n, config.batch_size):
+                batch = order[start:start + config.batch_size]
+                loss, logits = self._step(x_train[batch], y_train[batch])
+                losses.append(loss)
+                hits += int(
+                    (logits.argmax(axis=1) == y_train[batch]).sum()
+                )
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(hits / n)
+            if x_test is not None:
+                history.test_accuracy.append(
+                    self.evaluate(x_test, y_test))
+            if config.verbose:
+                test = (f" test={history.test_accuracy[-1]:.3f}"
+                        if x_test is not None else "")
+                print(f"epoch {epoch + 1}/{config.epochs} "
+                      f"loss={history.train_loss[-1]:.4f} "
+                      f"train={history.train_accuracy[-1]:.3f}{test}")
+        return history
+
+    def _step(self, x: np.ndarray, y: np.ndarray):
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(x))
+        loss = softmax_cross_entropy(logits, y)
+        loss.backward()
+        self.optimizer.step()
+        self.model.apply_weight_masks()
+        return loss.item(), logits.data
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Top-1 accuracy in eval mode."""
+        self.model.eval()
+        hits = 0
+        with no_grad():
+            for start in range(0, x.shape[0], batch_size):
+                stop = start + batch_size
+                logits = self.model(Tensor(x[start:stop]))
+                hits += int(
+                    (logits.data.argmax(axis=1) == y[start:stop]).sum()
+                )
+        return hits / x.shape[0]

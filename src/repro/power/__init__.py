@@ -1,0 +1,29 @@
+"""Power estimation and per-weight power characterization (Sec. III-A).
+
+This subpackage replaces Synopsys Power Compiler in the paper's flow:
+
+* :mod:`repro.power.estimator` — switching activity to power.
+* :mod:`repro.power.transitions` — activation-transition distributions
+  measured from systolic-array operand streams (paper Fig. 4a).
+* :mod:`repro.power.binning` — partial-sum binning and bin-level
+  transition distributions (paper Fig. 4b, Sec. III-A2).
+* :mod:`repro.power.characterization` — the per-weight-value average
+  power table (paper Fig. 2, Sec. III-A3).
+"""
+
+from repro.power.estimator import PowerEstimator
+from repro.power.transitions import TransitionDistribution
+from repro.power.binning import PartialSumBinner, BinnedTransitions
+from repro.power.characterization import (
+    WeightPowerCharacterizer,
+    WeightPowerTable,
+)
+
+__all__ = [
+    "PowerEstimator",
+    "TransitionDistribution",
+    "PartialSumBinner",
+    "BinnedTransitions",
+    "WeightPowerCharacterizer",
+    "WeightPowerTable",
+]

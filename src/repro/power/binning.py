@@ -1,0 +1,185 @@
+"""Partial-sum binning and bin-level transitions (paper Sec. III-A2).
+
+A 22-bit partial sum has ~1.8e13 possible transitions — far more than any
+simulation can populate.  The paper therefore groups partial sums into a
+small number of bins (50 in the experiments) by *bit-pattern similarity*:
+bins are seeded with randomly chosen partial sums, and every further value
+joins the bin whose members differ from it in the fewest bits on average.
+Transition statistics are then collected between bins, and stimulus
+sampling draws a concrete member value from each bin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.power.transitions import TransitionDistribution
+from repro.sim.logic import int_to_bits
+
+
+class PartialSumBinner:
+    """Bit-similarity binning of partial-sum values.
+
+    The average Hamming distance between a value and a bin's members
+    equals the distance between the value's bit vector and the bin's
+    *centroid* (per-bit mean), so assignment works on centroids and stays
+    cheap even for large observation sets.
+
+    Args:
+        n_bins: Number of bins (50 in the paper).
+        bits: Partial-sum width (22 for the 64x64 array).
+        exemplars_per_bin: How many concrete member values to remember per
+            bin for stimulus generation.
+    """
+
+    def __init__(self, n_bins: int = 50, bits: int = 22,
+                 exemplars_per_bin: int = 64) -> None:
+        if n_bins < 2:
+            raise ValueError("need at least two bins")
+        self.n_bins = n_bins
+        self.bits = bits
+        self.exemplars_per_bin = exemplars_per_bin
+        self._centroids: Optional[np.ndarray] = None  # (n_bins, bits)
+        self._counts: Optional[np.ndarray] = None
+        self._exemplars: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, observed: np.ndarray,
+            rng: Optional[np.random.Generator] = None,
+            chunk: int = 65536) -> "PartialSumBinner":
+        """Build the bins from observed partial-sum values.
+
+        Follows the paper's procedure: random seeding, then a single
+        sequential pass assigning each value to the closest bin (measured
+        as mean bit difference) while the centroids track their members.
+        """
+        rng = rng or np.random.default_rng()
+        observed = np.asarray(observed, dtype=np.int64).ravel()
+        if observed.size < self.n_bins:
+            raise ValueError(
+                f"need at least {self.n_bins} observations, "
+                f"got {observed.size}"
+            )
+        order = rng.permutation(observed.size)
+        observed = observed[order]
+
+        # Prefer distinct seeds so bins do not collapse onto each other.
+        distinct = np.unique(observed)
+        if distinct.size >= self.n_bins:
+            seeds = rng.choice(distinct, size=self.n_bins, replace=False)
+        else:
+            seeds = observed[: self.n_bins]
+        centroids = int_to_bits(seeds, self.bits).astype(np.float64)
+        counts = np.ones(self.n_bins, dtype=np.int64)
+        exemplars: List[List[int]] = [[int(s)] for s in seeds]
+
+        for start in range(0, observed.size, chunk):
+            values = observed[start:start + chunk]
+            bits = int_to_bits(values, self.bits).astype(np.float64)
+            assigned = self._nearest_bins(bits, centroids)
+            for b in range(self.n_bins):
+                members = bits[assigned == b]
+                if not members.size:
+                    continue
+                m = members.shape[0]
+                centroids[b] = (
+                    centroids[b] * counts[b] + members.sum(axis=0)
+                ) / (counts[b] + m)
+                counts[b] += m
+                room = self.exemplars_per_bin - len(exemplars[b])
+                if room > 0:
+                    chosen = values[assigned == b][:room]
+                    exemplars[b].extend(int(v) for v in chosen)
+
+        self._centroids = centroids
+        self._counts = counts
+        self._exemplars = [np.asarray(e, dtype=np.int64) for e in exemplars]
+        return self
+
+    @staticmethod
+    def _nearest_bins(bits: np.ndarray,
+                      centroids: np.ndarray) -> np.ndarray:
+        """Closest bin per bit vector, by expected Hamming distance.
+
+        For 0/1 bits the expected Hamming distance to a centroid ``c`` is
+        ``sum(c) + bits @ (1 - 2c)``, which turns the whole assignment
+        into one matmul instead of a dense 3-D broadcast.
+        """
+        offsets = centroids.sum(axis=1)  # (n_bins,)
+        distance = offsets[None, :] + bits @ (1.0 - 2.0 * centroids.T)
+        return distance.argmin(axis=1)
+
+    @property
+    def fitted(self) -> bool:
+        return self._centroids is not None
+
+    def _require_fit(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("binner not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # use
+    # ------------------------------------------------------------------
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Bin index of each value (nearest centroid in mean bit diff)."""
+        self._require_fit()
+        values = np.asarray(values, dtype=np.int64)
+        bits = int_to_bits(values.ravel(), self.bits).astype(np.float64)
+        assigned = self._nearest_bins(bits, self._centroids)
+        return assigned.reshape(values.shape)
+
+    def sample_members(self, bin_ids: np.ndarray,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> np.ndarray:
+        """Draw one concrete partial-sum value per requested bin."""
+        self._require_fit()
+        rng = rng or np.random.default_rng()
+        bin_ids = np.asarray(bin_ids, dtype=np.int64).ravel()
+        out = np.empty(bin_ids.size, dtype=np.int64)
+        for b in np.unique(bin_ids):
+            members = self._exemplars[b]
+            mask = bin_ids == b
+            out[mask] = rng.choice(members, size=int(mask.sum()))
+        return out
+
+    def bin_sizes(self) -> np.ndarray:
+        """Number of observations absorbed by each bin during fitting."""
+        self._require_fit()
+        return self._counts.copy()
+
+
+class BinnedTransitions:
+    """Bin-level transition distribution of the partial sums (Fig. 4b)."""
+
+    def __init__(self, binner: PartialSumBinner,
+                 distribution: TransitionDistribution) -> None:
+        if distribution.n_codes != binner.n_bins:
+            raise ValueError("distribution size must equal bin count")
+        self.binner = binner
+        self.distribution = distribution
+
+    @classmethod
+    def from_stream(cls, binner: PartialSumBinner,
+                    psum_stream: np.ndarray) -> "BinnedTransitions":
+        """Count transitions between the bins of consecutive partial sums."""
+        bins = binner.assign(np.asarray(psum_stream).ravel())
+        dist = TransitionDistribution.from_stream(bins, binner.n_bins)
+        return cls(binner, dist)
+
+    def sample_values(self, n_samples: int,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw concrete ``(psum_from, psum_to)`` stimulus pairs.
+
+        Bin pairs are drawn from the bin-transition distribution and then
+        materialized with a stored member value of each bin, which is how
+        the characterizer turns bin statistics back into bit patterns.
+        """
+        rng = rng or np.random.default_rng()
+        bin_from, bin_to = self.distribution.sample(n_samples, rng)
+        return (self.binner.sample_members(bin_from, rng),
+                self.binner.sample_members(bin_to, rng))

@@ -1,0 +1,239 @@
+"""Per-weight-value power characterization (paper Sec. III-A3, Fig. 2).
+
+For every quantized weight value, the weight input of the MAC is frozen
+and the unit is simulated under combined activation/partial-sum transition
+stimuli sampled from the measured distributions (10 000 samples in the
+paper).  The resulting switching activity priced with the cell library
+gives the weight's average power.
+
+A single global ``energy_scale`` is calibrated so the most expensive
+weight matches the paper's Fig. 2 peak (the quantized weight -105 at
+1066 µW); everything else — the shape of the curve, the zero-weight
+minimum, the power ordering — is produced by the gate-level simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.netlist.mac import MacUnit
+from repro.power.binning import BinnedTransitions
+from repro.power.estimator import PowerEstimator
+from repro.power.transitions import (
+    TransitionDistribution,
+    code_to_value,
+)
+from repro.sim.logic import bus_inputs, evaluate
+from repro.sim.switching import toggle_matrix
+
+#: Fig. 2 anchor: the most power-hungry weight value burns ~1066 µW.
+ANCHOR_MAX_POWER_UW = 1066.0
+
+
+@dataclass
+class WeightPowerTable:
+    """Average MAC power per quantized weight value, in microwatts.
+
+    Attributes:
+        weights: Sorted array of characterized weight values.
+        power_uw: Total (dynamic + leakage) average power per weight.
+        dynamic_uw: Dynamic component per weight.
+        leakage_uw: Leakage of one MAC (weight independent).
+        clock_period_ps: Clock period the powers refer to.
+        energy_scale: Calibration factor that was applied.
+    """
+
+    weights: np.ndarray
+    power_uw: np.ndarray
+    dynamic_uw: np.ndarray
+    leakage_uw: float
+    clock_period_ps: float
+    energy_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.int64)
+        self.power_uw = np.asarray(self.power_uw, dtype=np.float64)
+        self.dynamic_uw = np.asarray(self.dynamic_uw, dtype=np.float64)
+        if self.weights.shape != self.power_uw.shape:
+            raise ValueError("weights/power arrays must align")
+        order = np.argsort(self.weights)
+        self.weights = self.weights[order]
+        self.power_uw = self.power_uw[order]
+        self.dynamic_uw = self.dynamic_uw[order]
+
+    def power_of(self, weight: int) -> float:
+        """Average power of one weight value in µW."""
+        idx = np.searchsorted(self.weights, weight)
+        if idx >= self.weights.size or self.weights[idx] != weight:
+            raise KeyError(f"weight {weight} not characterized")
+        return float(self.power_uw[idx])
+
+    def dynamic_of(self, weight: int, interpolate: bool = False) -> float:
+        """Dynamic power of one weight value in µW.
+
+        Args:
+            weight: Weight value to look up.
+            interpolate: When the exact value was not characterized
+                (reduced-scale runs characterize a subset), linearly
+                interpolate between the nearest characterized neighbours
+                instead of raising.
+        """
+        idx = np.searchsorted(self.weights, weight)
+        if (idx < self.weights.size and self.weights[idx] == weight):
+            return float(self.dynamic_uw[idx])
+        if not interpolate:
+            raise KeyError(f"weight {weight} not characterized")
+        return float(np.interp(weight, self.weights, self.dynamic_uw))
+
+    def as_dict(self) -> Dict[int, float]:
+        """Plain ``{weight: power_uw}`` mapping."""
+        return {int(w): float(p)
+                for w, p in zip(self.weights, self.power_uw)}
+
+    def select_below(self, threshold_uw: float,
+                     always_keep: Sequence[int] = (0,)) -> np.ndarray:
+        """Weight values whose power is at most ``threshold_uw``.
+
+        ``always_keep`` values are retained regardless (the paper always
+        keeps zero: it is both the pruning target and the cheapest value).
+        """
+        mask = self.power_uw <= threshold_uw
+        keep = np.isin(self.weights, np.asarray(always_keep, dtype=np.int64))
+        return self.weights[mask | keep]
+
+    def count_below(self, threshold_uw: float) -> int:
+        """Number of weight values at or below a power threshold."""
+        return int((self.power_uw <= threshold_uw).sum())
+
+    # ------------------------------------------------------------------
+    # persistence (characterization is expensive; cache it)
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        """Write the table as JSON."""
+        payload = {
+            "weights": self.weights.tolist(),
+            "power_uw": self.power_uw.tolist(),
+            "dynamic_uw": self.dynamic_uw.tolist(),
+            "leakage_uw": self.leakage_uw,
+            "clock_period_ps": self.clock_period_ps,
+            "energy_scale": self.energy_scale,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Path) -> "WeightPowerTable":
+        """Read a table written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            weights=np.asarray(payload["weights"]),
+            power_uw=np.asarray(payload["power_uw"]),
+            dynamic_uw=np.asarray(payload["dynamic_uw"]),
+            leakage_uw=payload["leakage_uw"],
+            clock_period_ps=payload["clock_period_ps"],
+            energy_scale=payload["energy_scale"],
+        )
+
+
+class WeightPowerCharacterizer:
+    """Runs the Sec. III-A per-weight power characterization.
+
+    Args:
+        mac: MAC unit netlists.
+        library: Cell library.
+        act_transitions: Activation transition distribution (256 codes).
+        psum_transitions: Binned partial-sum transition source.
+        clock_period_ps: MAC clock period.
+        n_samples: Combined transitions sampled per weight (paper: 10 000).
+        calibrate_to_uw: Pin the maximum characterized power to this value
+            (``None`` disables calibration).
+    """
+
+    def __init__(self, mac: MacUnit, library: CellLibrary,
+                 act_transitions: TransitionDistribution,
+                 psum_transitions: BinnedTransitions,
+                 clock_period_ps: float = 180.0,
+                 n_samples: int = 10000,
+                 calibrate_to_uw: Optional[float] = ANCHOR_MAX_POWER_UW,
+                 ) -> None:
+        if act_transitions.n_codes != (1 << mac.act_bits):
+            raise ValueError("activation distribution width mismatch")
+        self.mac = mac
+        self.library = library
+        self.act_transitions = act_transitions
+        self.psum_transitions = psum_transitions
+        self.n_samples = n_samples
+        self.calibrate_to_uw = calibrate_to_uw
+        self.estimator = PowerEstimator(library, clock_period_ps)
+        self._packed = mac.full.packed()
+        self._energies = self._packed.gate_energies(library)
+
+    def _dynamic_energy_fj(self, weight: int, rng: np.random.Generator
+                           ) -> float:
+        """Mean switching energy per cycle for one frozen weight value."""
+        code_from, code_to = self.act_transitions.sample(
+            self.n_samples, rng
+        )
+        act_from = code_to_value(code_from, self.mac.act_bits)
+        act_to = code_to_value(code_to, self.mac.act_bits)
+        psum_from, psum_to = self.psum_transitions.sample_values(
+            self.n_samples, rng
+        )
+        weight_bus = bus_inputs(
+            "w", np.full(self.n_samples, weight), self.mac.weight_bits
+        )
+
+        feed_before = bus_inputs("act", act_from, self.mac.act_bits)
+        feed_before.update(weight_bus)
+        feed_before.update(bus_inputs("psum", psum_from, self.mac.psum_bits))
+        feed_after = bus_inputs("act", act_to, self.mac.act_bits)
+        feed_after.update(weight_bus)
+        feed_after.update(bus_inputs("psum", psum_to, self.mac.psum_bits))
+
+        before = evaluate(self._packed, feed_before)
+        after = evaluate(self._packed, feed_after)
+        rates = toggle_matrix(before, after).mean(axis=1)
+        return float(np.dot(rates, self._energies))
+
+    def characterize(self, weights: Optional[Iterable[int]] = None,
+                     seed: int = 2023) -> WeightPowerTable:
+        """Build the per-weight power table.
+
+        Args:
+            weights: Weight values to characterize; defaults to the full
+                symmetric 8-bit set -127..127 (255 values, matching the
+                TensorFlow-style symmetric quantization of the paper).
+            seed: RNG seed for stimulus sampling.
+        """
+        if weights is None:
+            half = 1 << (self.mac.weight_bits - 1)
+            weights = range(-half + 1, half)
+        weights = np.asarray(sorted(set(int(w) for w in weights)))
+        rng = np.random.default_rng(seed)
+
+        energies_fj = np.array([
+            self._dynamic_energy_fj(int(w), rng) for w in weights
+        ])
+        dynamic_uw = energies_fj * self.estimator.frequency_ghz
+        leakage_uw = self.estimator.leakage_power_uw(self._packed)
+
+        energy_scale = 1.0
+        if self.calibrate_to_uw is not None and dynamic_uw.max() > 0:
+            energy_scale = (
+                (self.calibrate_to_uw - leakage_uw) / dynamic_uw.max()
+            )
+            dynamic_uw = dynamic_uw * energy_scale
+
+        return WeightPowerTable(
+            weights=weights,
+            power_uw=dynamic_uw + leakage_uw,
+            dynamic_uw=dynamic_uw,
+            leakage_uw=leakage_uw,
+            clock_period_ps=self.estimator.clock_period_ps,
+            energy_scale=energy_scale,
+        )

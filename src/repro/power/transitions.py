@@ -1,0 +1,168 @@
+"""Operand-transition distributions (paper Sec. III-A1, Fig. 4a).
+
+The power a MAC burns for a given weight depends on *which* activation and
+partial-sum transitions it sees, so the paper measures transition
+distributions from real workloads running on the systolic array and then
+samples characterization stimuli from them.  This module provides the
+generic distribution object used for both operands, plus the synthetic
+diagonal-heavy model observed in Fig. 4a for use before any workload has
+been simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class TransitionDistribution:
+    """Joint distribution over ``(code_from, code_to)`` transitions.
+
+    Codes are consecutive integers ``0..n_codes-1``; for 8-bit signed
+    operands the canonical mapping is ``code = value + 128`` (see
+    :func:`value_to_code`).  The matrix is stored row-major:
+    ``matrix[i, j]`` is the probability of a transition from code ``i`` to
+    code ``j``.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("transition matrix must be square")
+        total = matrix.sum()
+        if total <= 0:
+            raise ValueError("transition matrix must have positive mass")
+        if (matrix < 0).any():
+            raise ValueError("transition probabilities must be >= 0")
+        self.matrix = matrix / total
+
+    @property
+    def n_codes(self) -> int:
+        return self.matrix.shape[0]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stream(cls, codes: np.ndarray,
+                    n_codes: int) -> "TransitionDistribution":
+        """Estimate from a time-ordered stream of operand codes.
+
+        Consecutive stream elements form one transition each, exactly the
+        statistic the paper counts while simulating 100 images.
+        """
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        if codes.size < 2:
+            raise ValueError("need at least two samples to see a transition")
+        cls._check_codes(codes, n_codes)
+        pairs = codes[:-1] * n_codes + codes[1:]
+        counts = np.bincount(pairs, minlength=n_codes * n_codes)
+        return cls(counts.reshape(n_codes, n_codes).astype(np.float64))
+
+    @classmethod
+    def from_pairs(cls, code_from: np.ndarray, code_to: np.ndarray,
+                   n_codes: int) -> "TransitionDistribution":
+        """Estimate from explicit ``(from, to)`` transition pairs."""
+        code_from = np.asarray(code_from, dtype=np.int64).ravel()
+        code_to = np.asarray(code_to, dtype=np.int64).ravel()
+        if code_from.shape != code_to.shape:
+            raise ValueError("from/to arrays must have the same length")
+        cls._check_codes(code_from, n_codes)
+        cls._check_codes(code_to, n_codes)
+        pairs = code_from * n_codes + code_to
+        counts = np.bincount(pairs, minlength=n_codes * n_codes)
+        return cls(counts.reshape(n_codes, n_codes).astype(np.float64))
+
+    @classmethod
+    def uniform(cls, n_codes: int) -> "TransitionDistribution":
+        """All transitions equally likely (worst-case stimulus)."""
+        return cls(np.full((n_codes, n_codes), 1.0 / (n_codes * n_codes)))
+
+    @classmethod
+    def diagonal(cls, n_codes: int, bandwidth: float = 12.0,
+                 uniform_floor: float = 0.02) -> "TransitionDistribution":
+        """Synthetic diagonal-heavy distribution in the shape of Fig. 4a.
+
+        Most transitions move between nearby values; far jumps are rare.
+        ``uniform_floor`` mixes in a small uniform component so no
+        transition has exactly zero probability.
+        """
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        idx = np.arange(n_codes, dtype=np.float64)
+        distance = np.abs(idx[:, None] - idx[None, :])
+        matrix = np.exp(-0.5 * (distance / bandwidth) ** 2)
+        matrix = matrix / matrix.sum()
+        floor = np.full_like(matrix, 1.0 / matrix.size)
+        return cls((1 - uniform_floor) * matrix + uniform_floor * floor)
+
+    @staticmethod
+    def _check_codes(codes: np.ndarray, n_codes: int) -> None:
+        if codes.size and (codes.min() < 0 or codes.max() >= n_codes):
+            raise ValueError(
+                f"codes outside [0, {n_codes}): "
+                f"[{codes.min()}, {codes.max()}]"
+            )
+
+    # ------------------------------------------------------------------
+    # use
+    # ------------------------------------------------------------------
+    def sample(self, n_samples: int,
+               rng: Optional[np.random.Generator] = None,
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``(code_from, code_to)`` pairs according to the matrix."""
+        rng = rng or np.random.default_rng()
+        flat = self.matrix.ravel()
+        drawn = rng.choice(flat.size, size=n_samples, p=flat)
+        return drawn // self.n_codes, drawn % self.n_codes
+
+    def marginal_from(self) -> np.ndarray:
+        """Probability of each code appearing as the transition source."""
+        return self.matrix.sum(axis=1)
+
+    def marginal_to(self) -> np.ndarray:
+        """Probability of each code appearing as the transition target."""
+        return self.matrix.sum(axis=0)
+
+    def diagonal_mass(self, band: int = 8) -> float:
+        """Probability mass within ``band`` codes of the diagonal.
+
+        A quick scalar summary of the Fig. 4a structure: real workloads
+        show most mass close to the diagonal.
+        """
+        idx = np.arange(self.n_codes)
+        mask = np.abs(idx[:, None] - idx[None, :]) <= band
+        return float(self.matrix[mask].sum())
+
+    def restricted(self, allowed_codes: np.ndarray
+                   ) -> "TransitionDistribution":
+        """Distribution conditioned on both endpoints being allowed.
+
+        Used after activation selection: transitions involving removed
+        activation values can no longer occur.
+        """
+        allowed = np.zeros(self.n_codes, dtype=bool)
+        allowed[np.asarray(allowed_codes, dtype=np.int64)] = True
+        matrix = self.matrix * allowed[:, None] * allowed[None, :]
+        if matrix.sum() <= 0:
+            raise ValueError("restriction removed all probability mass")
+        return TransitionDistribution(matrix)
+
+
+def value_to_code(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Map signed two's-complement values to dense codes ``0..2**bits-1``."""
+    values = np.asarray(values, dtype=np.int64)
+    half = 1 << (bits - 1)
+    if values.size and (values.min() < -half or values.max() >= half):
+        raise ValueError(f"values outside signed {bits}-bit range")
+    return values + half
+
+
+def code_to_value(codes: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Inverse of :func:`value_to_code`."""
+    codes = np.asarray(codes, dtype=np.int64)
+    half = 1 << (bits - 1)
+    if codes.size and (codes.min() < 0 or codes.max() >= (1 << bits)):
+        raise ValueError(f"codes outside [0, {1 << bits})")
+    return codes - half

@@ -1,0 +1,35 @@
+"""Gate-level simulation engines.
+
+Vectorized replacements for the commercial tooling the paper uses:
+
+* :mod:`repro.sim.logic` — batched Boolean evaluation of a netlist
+  (the role of Modelsim's functional simulation).
+* :mod:`repro.sim.switching` — toggle extraction between input patterns
+  (the switching-activity files fed to Power Compiler).
+* :mod:`repro.sim.dynamic_timing` — per-transition arrival-time
+  propagation (dynamic timing analysis).
+* :mod:`repro.sim.static_timing` — longest-path analysis (the role of
+  Design Compiler's STA engine).
+"""
+
+from repro.sim.logic import bits_to_int, evaluate, int_to_bits
+from repro.sim.switching import toggle_matrix, toggle_rates
+from repro.sim.dynamic_timing import dynamic_arrival_times, dynamic_delays
+from repro.sim.static_timing import (
+    static_arrival_times,
+    static_max_delay,
+    time_to_outputs,
+)
+
+__all__ = [
+    "evaluate",
+    "int_to_bits",
+    "bits_to_int",
+    "toggle_matrix",
+    "toggle_rates",
+    "dynamic_arrival_times",
+    "dynamic_delays",
+    "static_arrival_times",
+    "static_max_delay",
+    "time_to_outputs",
+]

@@ -1,0 +1,91 @@
+"""Static timing analysis (the Design Compiler role).
+
+Longest-path analysis over the netlist DAG.  Two directions are needed:
+
+* *arrival times* — the classic forward pass giving the worst-case delay
+  at every net, used to time the whole MAC ("post-synthesis" 180 ps).
+* *time to outputs* — the backward pass giving, for every net, the longest
+  remaining path to any primary output.  The paper's composition (Fig. 5)
+  reads the adder's per-product-bit delays from exactly this quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.netlist.gates import Netlist, PackedNetlist
+
+
+def _packed(netlist: Union[Netlist, PackedNetlist]) -> PackedNetlist:
+    return netlist if isinstance(netlist, PackedNetlist) else netlist.packed()
+
+
+def static_arrival_times(netlist: Union[Netlist, PackedNetlist],
+                         library) -> np.ndarray:
+    """Worst-case arrival time (ps) at every net, inputs at t=0."""
+    packed = _packed(netlist)
+    delays = packed.gate_delays(library)
+    arrivals = np.zeros(len(packed), dtype=np.float64)
+    f0, f1, f2 = packed.fanin0, packed.fanin1, packed.fanin2
+    for net in range(len(packed)):
+        if delays[net] == 0.0 and f0[net] < 0:
+            continue  # source node
+        worst = 0.0
+        for fanin in (f0[net], f1[net], f2[net]):
+            if fanin >= 0 and arrivals[fanin] > worst:
+                worst = arrivals[fanin]
+        arrivals[net] = worst + delays[net]
+    return arrivals
+
+
+def static_max_delay(netlist: Union[Netlist, PackedNetlist],
+                     library) -> float:
+    """Critical-path delay (ps) from any input to any output."""
+    packed = _packed(netlist)
+    arrivals = static_arrival_times(packed, library)
+    outputs = list(packed.netlist.output_names.values())
+    if not outputs:
+        raise ValueError("netlist has no outputs to time")
+    return float(arrivals[outputs].max())
+
+
+def time_to_outputs(netlist: Union[Netlist, PackedNetlist],
+                    library) -> np.ndarray:
+    """Longest remaining delay (ps) from every net to any primary output.
+
+    A net that cannot reach an output gets ``-inf``; primary-output nets
+    themselves get at least 0.  For a primary input, the returned value is
+    the STA delay of the whole input-to-output cone — the per-bit numbers
+    the paper adds on top of the multiplier's dynamic delays.
+    """
+    packed = _packed(netlist)
+    delays = packed.gate_delays(library)
+    remaining = np.full(len(packed), -np.inf, dtype=np.float64)
+    for net in packed.netlist.output_names.values():
+        remaining[net] = max(remaining[net], 0.0)
+    f0, f1, f2 = packed.fanin0, packed.fanin1, packed.fanin2
+    # Walk in reverse topological order, relaxing fanins through each gate:
+    # reaching this gate's output costs the gate's own delay.
+    for net in range(len(packed) - 1, -1, -1):
+        if remaining[net] == -np.inf:
+            continue
+        through = remaining[net] + delays[net]
+        for fanin in (f0[net], f1[net], f2[net]):
+            if fanin >= 0 and through > remaining[fanin]:
+                remaining[fanin] = through
+    return remaining
+
+
+def input_bus_delays(netlist: Union[Netlist, PackedNetlist], library,
+                     prefix: str, width: int) -> np.ndarray:
+    """STA delay from each bit of an input bus to any output.
+
+    Bits that reach no output (possible for unused wires) report 0.
+    """
+    packed = _packed(netlist)
+    remaining = time_to_outputs(packed, library)
+    nets = packed.netlist.input_bus(prefix, width)
+    values = remaining[nets]
+    return np.where(np.isfinite(values), values, 0.0)

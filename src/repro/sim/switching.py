@@ -1,0 +1,51 @@
+"""Switching-activity extraction.
+
+Power Compiler consumes per-net toggle statistics (SAIF files) produced by
+logic simulation; these helpers compute the same quantity from two
+batched evaluations of a netlist — the values *before* and *after* each
+input transition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def toggle_matrix(values_before: np.ndarray,
+                  values_after: np.ndarray) -> np.ndarray:
+    """Per-net, per-sample toggle indicators.
+
+    Args:
+        values_before: ``evaluate`` output for the pre-transition patterns.
+        values_after: ``evaluate`` output for the post-transition patterns,
+            same shape.
+
+    Returns:
+        Boolean matrix ``toggled[net, sample]``.
+    """
+    if values_before.shape != values_after.shape:
+        raise ValueError(
+            f"shape mismatch: {values_before.shape} vs {values_after.shape}"
+        )
+    return values_before != values_after
+
+
+def toggle_rates(values_before: np.ndarray,
+                 values_after: np.ndarray) -> np.ndarray:
+    """Mean toggle probability of each net across the batch."""
+    return toggle_matrix(values_before, values_after).mean(axis=1)
+
+
+def stream_toggle_counts(values: np.ndarray) -> np.ndarray:
+    """Toggle counts of each net over a time-ordered pattern stream.
+
+    Args:
+        values: ``evaluate`` output where the batch axis is *time* (the
+            consecutive cycles of a simulation).
+
+    Returns:
+        Integer vector of toggle counts per net over the stream.
+    """
+    if values.shape[1] < 2:
+        return np.zeros(values.shape[0], dtype=np.int64)
+    return (values[:, 1:] != values[:, :-1]).sum(axis=1)

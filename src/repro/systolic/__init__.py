@@ -1,0 +1,44 @@
+"""Weight-stationary systolic-array simulator.
+
+Substitute for the authors' synthesized 64x64 systolic array testbench:
+
+* :mod:`repro.systolic.config` — array geometry and the two hardware
+  variants of the paper (Standard HW / Optimized HW).
+* :mod:`repro.systolic.mapping` — tiling of matmul-shaped layer workloads
+  onto the array, with cycle accounting.
+* :mod:`repro.systolic.array` — functional simulation producing exact
+  outputs plus the operand streams each PE observes.
+* :mod:`repro.systolic.stats` — transition statistics collected from the
+  streams (feeds the Fig. 4 distributions).
+* :mod:`repro.systolic.energy` — per-layer power estimation from the
+  per-weight power table, including clock/power gating and voltage
+  scaling.
+"""
+
+from repro.systolic.config import (
+    OPTIMIZED_HW,
+    STANDARD_HW,
+    HardwareVariant,
+    SystolicConfig,
+)
+from repro.systolic.mapping import Tile, TileSchedule, schedule_matmul
+from repro.systolic.array import SystolicArray
+from repro.systolic.cycle_sim import CycleAccurateArray, CycleTrace
+from repro.systolic.stats import TransitionStatsCollector
+from repro.systolic.energy import ArrayPowerModel, MacPowerParams
+
+__all__ = [
+    "SystolicConfig",
+    "HardwareVariant",
+    "STANDARD_HW",
+    "OPTIMIZED_HW",
+    "Tile",
+    "TileSchedule",
+    "schedule_matmul",
+    "SystolicArray",
+    "CycleAccurateArray",
+    "CycleTrace",
+    "TransitionStatsCollector",
+    "ArrayPowerModel",
+    "MacPowerParams",
+]

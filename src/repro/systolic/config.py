@@ -1,0 +1,83 @@
+"""Systolic-array geometry and hardware variants.
+
+The paper evaluates two implementations of the same 64x64 weight-stationary
+array (Sec. IV):
+
+* **Standard HW** — no power-saving features: every PE is clocked every
+  cycle and every PE leaks.
+* **Optimized HW** — a MAC whose stationary weight is zero is clock-gated
+  (no dynamic power), and entirely unutilized columns are power-gated
+  (no dynamic *and* no leakage power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """Geometry and operating point of the accelerator.
+
+    Attributes:
+        rows / cols: PE grid size (64x64 in the paper).
+        act_bits / weight_bits / psum_bits: Datapath widths.
+        clock_period_ps: Cycle time; 180 ps is the paper's post-synthesis
+            value ("around 5 GHz").
+    """
+
+    rows: int = 64
+    cols: int = 64
+    act_bits: int = 8
+    weight_bits: int = 8
+    psum_bits: int = 22
+    clock_period_ps: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array must have at least one PE")
+        if self.clock_period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        needed = self.act_bits + self.weight_bits
+        if self.psum_bits < needed:
+            raise ValueError(
+                f"psum width {self.psum_bits} cannot hold "
+                f"{needed}-bit products"
+            )
+
+    @property
+    def n_pes(self) -> int:
+        """Total number of processing elements."""
+        return self.rows * self.cols
+
+    @property
+    def frequency_ghz(self) -> float:
+        return 1000.0 / self.clock_period_ps
+
+
+@dataclass(frozen=True)
+class HardwareVariant:
+    """Power-management features of an array implementation.
+
+    Attributes:
+        name: Human-readable variant name.
+        clock_gate_zero_weight: Gate the clock of PEs holding weight zero
+            and of PEs that receive no activation stream.
+        power_gate_unused_columns: Cut supply to columns with no mapped
+            output channel (kills leakage too).
+    """
+
+    name: str
+    clock_gate_zero_weight: bool = False
+    power_gate_unused_columns: bool = False
+
+
+#: The paper's baseline implementation without power-saving features.
+STANDARD_HW = HardwareVariant("Standard HW")
+
+#: The paper's implementation with clock gating and column power gating.
+OPTIMIZED_HW = HardwareVariant(
+    "Optimized HW",
+    clock_gate_zero_weight=True,
+    power_gate_unused_columns=True,
+)

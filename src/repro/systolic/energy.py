@@ -1,0 +1,186 @@
+"""Per-layer power estimation of the systolic array.
+
+Combines the per-weight MAC power table (Sec. III-A characterization)
+with the tile schedule and the hardware variant's gating semantics:
+
+* an **active** PE (inside the tile, streaming) burns the dynamic power
+  of its stationary weight value plus un-gateable clock/register power;
+* an **idle** PE (clocked but not streaming, or holding weight zero on
+  Optimized HW where it is clock-gated) burns clock power on Standard HW
+  and nothing dynamic on Optimized HW;
+* a **power-gated** column (Optimized HW only) burns nothing at all;
+* every non-power-gated PE leaks.
+
+Supply-voltage scaling multiplies dynamic power by the V^2 law and
+leakage by the super-linear FinFET law (see :mod:`repro.cells.voltage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cells.voltage import VoltageModel
+from repro.power.characterization import WeightPowerTable
+from repro.power.estimator import PowerBreakdown
+from repro.systolic.config import HardwareVariant, SystolicConfig
+from repro.systolic.mapping import Tile, TileSchedule
+
+
+@dataclass(frozen=True)
+class MacPowerParams:
+    """Per-MAC power figures consumed by the array model.
+
+    Attributes:
+        table: Per-weight-value power characterization.
+        clock_power_uw: Clock-tree/register power one un-gated MAC burns
+            every cycle regardless of data activity.  Roughly 15% of the
+            mean MAC dynamic power, a typical clock-tree share.
+    """
+
+    table: WeightPowerTable
+    clock_power_uw: float = 80.0
+
+    @property
+    def leakage_uw(self) -> float:
+        """Leakage of a single MAC unit."""
+        return self.table.leakage_uw
+
+
+class ArrayPowerModel:
+    """Estimates average array power for tiled layer workloads."""
+
+    def __init__(self, config: SystolicConfig, params: MacPowerParams,
+                 voltage_model: Optional[VoltageModel] = None) -> None:
+        self.config = config
+        self.params = params
+        self.voltage_model = voltage_model or VoltageModel()
+        table = params.table
+        # Dense lookup over the full signed-8-bit range; values that were
+        # not characterized (reduced-scale runs characterize a subset)
+        # are linearly interpolated from their neighbours.
+        self._weight_offset = -(1 << 7)
+        self._dynamic_lut = np.array([
+            table.dynamic_of(w, interpolate=True)
+            for w in range(self._weight_offset, 1 << 7)
+        ])
+
+    def _dynamic_of(self, weight: int) -> float:
+        return float(self._dynamic_lut[weight - self._weight_offset])
+
+    def tile_power(self, tile: Tile, tile_weights: np.ndarray,
+                   variant: HardwareVariant) -> PowerBreakdown:
+        """Average power while one tile is streaming, at nominal voltage.
+
+        Args:
+            tile: Tile geometry.
+            tile_weights: ``(rows_used, cols_used)`` stationary weights.
+            variant: Hardware gating features.
+        """
+        tile_weights = np.asarray(tile_weights, dtype=np.int64)
+        if tile_weights.shape != (tile.rows_used, tile.cols_used):
+            raise ValueError(
+                f"tile weights shape {tile_weights.shape} does not match "
+                f"tile {tile.rows_used}x{tile.cols_used}"
+            )
+        config, params = self.config, self.params
+
+        flat = tile_weights.ravel()
+        per_pe_dynamic = self._dynamic_lut[flat - self._weight_offset]
+        if variant.clock_gate_zero_weight:
+            ungated = flat != 0  # gated PEs burn neither data nor clock
+            active_dynamic = float(per_pe_dynamic[ungated].sum())
+            clocked_pes = int(ungated.sum())
+        else:
+            active_dynamic = float(per_pe_dynamic.sum())
+            clocked_pes = flat.size
+
+        used_cols = tile.cols_used
+        idle_rows_pes = (config.rows - tile.rows_used) * used_cols
+        unused_cols = config.cols - used_cols
+        unused_col_pes = unused_cols * config.rows
+
+        # Idle PEs (rows beyond the tile, or whole unused columns) carry
+        # no data activity; whether they still burn clock power depends
+        # on the gating features.
+        if not variant.clock_gate_zero_weight:
+            clocked_pes += idle_rows_pes
+        if variant.power_gate_unused_columns:
+            leaking_pes = config.n_pes - unused_col_pes
+        else:
+            if not variant.clock_gate_zero_weight:
+                clocked_pes += unused_col_pes
+            leaking_pes = config.n_pes
+
+        dynamic = active_dynamic + clocked_pes * params.clock_power_uw
+        leakage = leaking_pes * params.leakage_uw
+        return PowerBreakdown(dynamic_uw=dynamic, leakage_uw=leakage)
+
+    def layer_power(self, schedule: TileSchedule, weights: np.ndarray,
+                    variant: HardwareVariant,
+                    vdd: Optional[float] = None) -> PowerBreakdown:
+        """Cycle-weighted average power of a whole layer.
+
+        Args:
+            schedule: Tile schedule of the layer.
+            weights: Full ``(K, N)`` weight matrix the tiles slice.
+            vdd: Optional scaled supply voltage.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.shape != (schedule.k, schedule.n):
+            raise ValueError(
+                f"weight matrix {weights.shape} does not match schedule "
+                f"({schedule.k}, {schedule.n})"
+            )
+        energy_dyn = 0.0
+        energy_leak = 0.0
+        total_cycles = 0
+        for tile in schedule:
+            tile_w = weights[tile.row_start:tile.row_stop,
+                             tile.col_start:tile.col_stop]
+            power = self.tile_power(tile, tile_w, variant)
+            cycles = tile.cycles()
+            energy_dyn += power.dynamic_uw * cycles
+            energy_leak += power.leakage_uw * cycles
+            total_cycles += cycles
+        breakdown = PowerBreakdown(
+            dynamic_uw=energy_dyn / total_cycles,
+            leakage_uw=energy_leak / total_cycles,
+        )
+        if vdd is not None:
+            breakdown = breakdown.scaled(
+                self.voltage_model.dynamic_power_scale(vdd),
+                self.voltage_model.leakage_power_scale(vdd),
+            )
+        return breakdown
+
+    def network_power(self, layers: Sequence, variant: HardwareVariant,
+                      vdd: Optional[float] = None) -> PowerBreakdown:
+        """Cycle-weighted average power across layers.
+
+        Args:
+            layers: Sequence of ``(schedule, weights)`` pairs.
+        """
+        if not layers:
+            raise ValueError("need at least one layer")
+        energy_dyn = 0.0
+        energy_leak = 0.0
+        total_cycles = 0
+        for schedule, weights in layers:
+            power = self.layer_power(schedule, weights, variant, vdd=None)
+            cycles = schedule.total_cycles
+            energy_dyn += power.dynamic_uw * cycles
+            energy_leak += power.leakage_uw * cycles
+            total_cycles += cycles
+        breakdown = PowerBreakdown(
+            dynamic_uw=energy_dyn / total_cycles,
+            leakage_uw=energy_leak / total_cycles,
+        )
+        if vdd is not None:
+            breakdown = breakdown.scaled(
+                self.voltage_model.dynamic_power_scale(vdd),
+                self.voltage_model.leakage_power_scale(vdd),
+            )
+        return breakdown

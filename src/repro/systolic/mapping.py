@@ -1,0 +1,123 @@
+"""Tiling of layer workloads onto the weight-stationary array.
+
+A convolution or dense layer is lowered (via im2col) to the matmul
+``out[N, M] = W[K, N]^T @ A[K, M]`` with ``K`` the fan-in, ``N`` the
+output channels and ``M`` the output positions.  The array holds a
+``rows x cols`` tile of ``W`` stationary while the ``M`` activation
+columns stream through, so the workload becomes a grid of
+``ceil(K/rows) x ceil(N/cols)`` tiles.
+
+Cycle accounting per tile: ``rows_used`` cycles to preload weights, then
+``M`` streaming cycles plus ``rows_used + cols_used`` pipeline fill/drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.systolic.config import SystolicConfig
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One stationary weight tile of a layer's matmul.
+
+    Attributes:
+        row_start / row_stop: Fan-in slice held by the array rows.
+        col_start / col_stop: Output-channel slice held by the columns.
+        stream_length: Number of activation vectors streamed through.
+    """
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+    stream_length: int
+
+    @property
+    def rows_used(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def cols_used(self) -> int:
+        return self.col_stop - self.col_start
+
+    def cycles(self) -> int:
+        """Weight preload + streaming + pipeline fill/drain."""
+        return (self.rows_used + self.stream_length
+                + self.rows_used + self.cols_used)
+
+
+@dataclass
+class TileSchedule:
+    """All tiles of one layer plus aggregate cycle statistics."""
+
+    config: SystolicConfig
+    tiles: List[Tile]
+    k: int
+    n: int
+    m: int
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(tile.cycles() for tile in self.tiles)
+
+    @property
+    def total_macs(self) -> int:
+        """Useful multiply-accumulates in the layer."""
+        return self.k * self.n * self.m
+
+    @property
+    def utilization(self) -> float:
+        """Useful MACs over PE-cycles spent (0..1)."""
+        spent = self.total_cycles * self.config.n_pes
+        return self.total_macs / spent if spent else 0.0
+
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self.tiles)
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+
+def schedule_matmul(k: int, n: int, m: int,
+                    config: SystolicConfig) -> TileSchedule:
+    """Tile the matmul ``W[K, N]^T @ A[K, M]`` onto the array.
+
+    Args:
+        k: Fan-in (reduction) dimension, mapped to array rows.
+        n: Output channels, mapped to array columns.
+        m: Streamed activation vectors (output positions x batch).
+        config: Array geometry.
+    """
+    if min(k, n, m) < 1:
+        raise ValueError("matmul dimensions must be positive")
+    tiles = []
+    for row_start in range(0, k, config.rows):
+        row_stop = min(row_start + config.rows, k)
+        for col_start in range(0, n, config.cols):
+            col_stop = min(col_start + config.cols, n)
+            tiles.append(Tile(row_start, row_stop, col_start, col_stop,
+                              stream_length=m))
+    return TileSchedule(config=config, tiles=tiles, k=k, n=n, m=m)
+
+
+def conv2d_matmul_shape(in_channels: int, out_channels: int,
+                        kernel_hw: Tuple[int, int],
+                        out_hw: Tuple[int, int],
+                        batch: int = 1) -> Tuple[int, int, int]:
+    """(K, N, M) of the im2col lowering of a conv layer."""
+    kh, kw = kernel_hw
+    oh, ow = out_hw
+    if min(in_channels, out_channels, kh, kw, oh, ow, batch) < 1:
+        raise ValueError("conv dimensions must be positive")
+    return in_channels * kh * kw, out_channels, oh * ow * batch
+
+
+def dense_matmul_shape(in_features: int, out_features: int,
+                       batch: int = 1) -> Tuple[int, int, int]:
+    """(K, N, M) of a dense layer."""
+    if min(in_features, out_features, batch) < 1:
+        raise ValueError("dense dimensions must be positive")
+    return in_features, out_features, batch

@@ -1,0 +1,118 @@
+"""Transition statistics from systolic-array operand streams.
+
+The paper measures (Sec. III-A1/2, Fig. 4) the distribution of activation
+transitions and — after binning — partial-sum transitions while the array
+executes real workloads.  The collector accumulates both from the streams
+the functional simulation produces: per-PE-row activation sequences and
+per-PE partial-sum sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.power.binning import BinnedTransitions, PartialSumBinner
+from repro.power.transitions import TransitionDistribution, value_to_code
+
+
+class TransitionStatsCollector:
+    """Accumulates operand-transition statistics across layers/tiles.
+
+    Args:
+        act_bits: Activation width (8 -> 256 codes).
+        psum_bits: Partial-sum width.
+        max_psum_samples: Cap on stored partial-sum stream samples; the
+            22-bit space cannot be covered anyway (the motivation for
+            binning), so a representative reservoir is kept.
+        seed: RNG seed for reservoir subsampling.
+    """
+
+    def __init__(self, act_bits: int = 8, psum_bits: int = 22,
+                 max_psum_samples: int = 500000, seed: int = 0) -> None:
+        self.act_bits = act_bits
+        self.psum_bits = psum_bits
+        n_codes = 1 << act_bits
+        self._act_counts = np.zeros((n_codes, n_codes), dtype=np.int64)
+        self._psum_pairs: list = []
+        self._psum_stored = 0
+        self.max_psum_samples = max_psum_samples
+        self._rng = np.random.default_rng(seed)
+        self.n_act_transitions = 0
+        self.n_psum_transitions = 0
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add_activation_streams(self, streams: np.ndarray) -> None:
+        """Count transitions of per-row activation streams.
+
+        Args:
+            streams: ``(n_streams, length)`` signed activation values;
+                each row is the time-ordered sequence one PE row sees.
+        """
+        streams = np.asarray(streams, dtype=np.int64)
+        if streams.ndim != 2 or streams.shape[1] < 2:
+            return
+        codes = value_to_code(streams, self.act_bits)
+        n_codes = 1 << self.act_bits
+        pairs = codes[:, :-1] * n_codes + codes[:, 1:]
+        counts = np.bincount(pairs.ravel(), minlength=n_codes * n_codes)
+        self._act_counts += counts.reshape(n_codes, n_codes)
+        self.n_act_transitions += pairs.size
+
+    def add_psum_streams(self, streams: np.ndarray) -> None:
+        """Record consecutive partial-sum pairs (reservoir-subsampled).
+
+        Args:
+            streams: ``(n_streams, length)`` signed partial-sum values.
+        """
+        streams = np.asarray(streams, dtype=np.int64)
+        if streams.ndim != 2 or streams.shape[1] < 2:
+            return
+        pairs = np.stack([streams[:, :-1].ravel(),
+                          streams[:, 1:].ravel()], axis=1)
+        self.n_psum_transitions += pairs.shape[0]
+        room = self.max_psum_samples - self._psum_stored
+        if room <= 0:
+            return
+        if pairs.shape[0] > room:
+            chosen = self._rng.choice(pairs.shape[0], size=room,
+                                      replace=False)
+            pairs = pairs[chosen]
+        self._psum_pairs.append(pairs)
+        self._psum_stored += pairs.shape[0]
+
+    # ------------------------------------------------------------------
+    # distributions
+    # ------------------------------------------------------------------
+    def activation_distribution(self) -> TransitionDistribution:
+        """The measured activation transition distribution (Fig. 4a)."""
+        if self._act_counts.sum() == 0:
+            raise RuntimeError("no activation transitions collected")
+        return TransitionDistribution(self._act_counts.astype(np.float64))
+
+    def psum_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All stored ``(from, to)`` partial-sum samples."""
+        if not self._psum_pairs:
+            raise RuntimeError("no partial-sum transitions collected")
+        pairs = np.concatenate(self._psum_pairs, axis=0)
+        return pairs[:, 0], pairs[:, 1]
+
+    def binned_psum_transitions(self, n_bins: int = 50,
+                                seed: int = 0) -> BinnedTransitions:
+        """Fit the partial-sum binner and bin-level transitions (Fig. 4b).
+
+        The binner is fitted on the observed values; transitions are then
+        counted between the bins of each stored ``(from, to)`` pair.
+        """
+        psum_from, psum_to = self.psum_pairs()
+        binner = PartialSumBinner(n_bins=n_bins, bits=self.psum_bits)
+        binner.fit(np.concatenate([psum_from, psum_to]),
+                   rng=np.random.default_rng(seed))
+        bins_from = binner.assign(psum_from)
+        bins_to = binner.assign(psum_to)
+        dist = TransitionDistribution.from_pairs(bins_from, bins_to,
+                                                 binner.n_bins)
+        return BinnedTransitions(binner, dist)

@@ -1,0 +1,25 @@
+"""Timing characterization and delay-driven selection (paper Sec. III-B).
+
+* :mod:`repro.timing.profile` — per-weight delay profiles over activation
+  transitions, composing multiplier DTA with adder STA (paper Fig. 5).
+* :mod:`repro.timing.selection` — the iterative randomized removal of
+  weights/activations until all sensitized delays fall below a threshold
+  (paper Fig. 6).
+"""
+
+from repro.timing.profile import (
+    DelayProfile,
+    MacTimingModel,
+    WeightDelayProfiler,
+    WeightTimingTable,
+)
+from repro.timing.selection import DelaySelector, SelectionResult
+
+__all__ = [
+    "MacTimingModel",
+    "WeightDelayProfiler",
+    "DelayProfile",
+    "WeightTimingTable",
+    "DelaySelector",
+    "SelectionResult",
+]

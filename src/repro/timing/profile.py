@@ -1,0 +1,313 @@
+"""Per-weight delay profiles (paper Sec. III-B, Figs. 3 and 5).
+
+The paper splits MAC timing analysis to keep it tractable:
+
+* the **multiplier** is analyzed *dynamically* per weight value — the
+  weight input is frozen and all 2^16 activation transitions are applied,
+  recording the switching-event arrival time at every product bit;
+* the **adder** is analyzed *statically* — one longest-path number from
+  each product bit (and from the partial-sum bus) to the result.
+
+The MAC delay for one transition is then
+``max(max_bit(mult_arrival[bit] + adder_delay[bit]), psum_path)`` —
+exactly the Fig. 5 composition.  A global ``time_scale`` pins the largest
+sensitized delay across all weights to the paper's 180 ps post-synthesis
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.netlist.mac import MacUnit
+from repro.sim.dynamic_timing import (
+    dynamic_arrival_times,
+    output_bus_arrivals,
+)
+from repro.sim.logic import bus_inputs
+from repro.sim.static_timing import input_bus_delays
+
+#: Post-synthesis critical path of the paper's MAC unit.
+ANCHOR_MAX_DELAY_PS = 180.0
+
+
+class MacTimingModel:
+    """Static half of the Fig. 5 composition.
+
+    Precomputes the adder's per-product-bit STA delays and the partial-sum
+    path delay, then composes them with dynamically obtained product-bit
+    arrival times.
+    """
+
+    def __init__(self, mac: MacUnit, library: CellLibrary) -> None:
+        self.mac = mac
+        self.library = library
+        self.adder_bit_delays = input_bus_delays(
+            mac.adder, library, "product", mac.product_bits
+        )
+        self.psum_path_ps = float(
+            input_bus_delays(mac.adder, library, "psum", mac.psum_bits)
+            .max()
+        )
+
+    def compose(self, product_arrivals: np.ndarray) -> np.ndarray:
+        """MAC delay per transition from product-bit arrival times.
+
+        Args:
+            product_arrivals: ``(product_bits, batch)`` arrival times from
+                multiplier DTA (0 where a bit did not switch).
+
+        Returns:
+            Per-transition MAC delay, floored at the static partial-sum
+            path (which is sensitized by the accumulating loop anyway).
+        """
+        composed = product_arrivals + self.adder_bit_delays[:, None]
+        # Bits that did not switch (arrival 0) still contribute the bare
+        # adder delay via `composed`; that is conservative but harmless
+        # because the psum path dominates any non-switching bit's path.
+        switched = product_arrivals > 0
+        composed = np.where(switched, composed, 0.0)
+        return np.maximum(composed.max(axis=0), self.psum_path_ps)
+
+
+@dataclass
+class DelayProfile:
+    """Delay of one weight value across activation transitions (Fig. 3).
+
+    Attributes:
+        weight: The frozen weight value.
+        act_from / act_to: The applied activation transitions (values,
+            not codes).
+        delays_ps: Sensitized MAC delay of each transition.
+    """
+
+    weight: int
+    act_from: np.ndarray
+    act_to: np.ndarray
+    delays_ps: np.ndarray
+
+    @property
+    def max_delay_ps(self) -> float:
+        return float(self.delays_ps.max())
+
+    def histogram(self, bin_width_ps: float = 5.0
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fig. 3-style histogram: (bin_edges, counts)."""
+        top = np.ceil(self.delays_ps.max() / bin_width_ps) * bin_width_ps
+        edges = np.arange(0.0, top + bin_width_ps, bin_width_ps)
+        counts, __ = np.histogram(self.delays_ps, bins=edges)
+        return edges, counts
+
+
+class WeightDelayProfiler:
+    """Runs the per-weight dynamic timing analysis of the multiplier."""
+
+    def __init__(self, mac: MacUnit, library: CellLibrary,
+                 chunk: int = 8192) -> None:
+        self.mac = mac
+        self.library = library
+        self.model = MacTimingModel(mac, library)
+        self.chunk = chunk
+        self._packed = mac.multiplier.packed()
+
+    def delays(self, weight: int, act_from: np.ndarray,
+               act_to: np.ndarray) -> np.ndarray:
+        """MAC delays for explicit activation transitions (values)."""
+        act_from = np.asarray(act_from, dtype=np.int64).ravel()
+        act_to = np.asarray(act_to, dtype=np.int64).ravel()
+        if act_from.shape != act_to.shape:
+            raise ValueError("from/to activation arrays must align")
+        out = np.empty(act_from.size, dtype=np.float64)
+        for start in range(0, act_from.size, self.chunk):
+            stop = min(start + self.chunk, act_from.size)
+            out[start:stop] = self._delays_chunk(
+                weight, act_from[start:stop], act_to[start:stop]
+            )
+        return out
+
+    def _delays_chunk(self, weight: int, act_from: np.ndarray,
+                      act_to: np.ndarray) -> np.ndarray:
+        n = act_from.size
+        weight_bus = bus_inputs(
+            "w", np.full(n, weight), self.mac.weight_bits
+        )
+        feed_before = bus_inputs("act", act_from, self.mac.act_bits)
+        feed_before.update(weight_bus)
+        feed_after = bus_inputs("act", act_to, self.mac.act_bits)
+        feed_after.update(weight_bus)
+        arrivals, __ = dynamic_arrival_times(
+            self._packed, self.library, feed_before, feed_after
+        )
+        product_arrivals = output_bus_arrivals(
+            self._packed, arrivals, "product", self.mac.product_bits
+        )
+        return self.model.compose(product_arrivals)
+
+    def all_transitions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The full activation-transition enumeration (2^16 pairs)."""
+        half = 1 << (self.mac.act_bits - 1)
+        values = np.arange(-half, half)
+        act_from, act_to = np.meshgrid(values, values, indexing="ij")
+        return act_from.ravel(), act_to.ravel()
+
+    def profile(self, weight: int,
+                transitions: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                ) -> DelayProfile:
+        """Delay profile of one weight (all transitions by default)."""
+        if transitions is None:
+            transitions = self.all_transitions()
+        act_from, act_to = transitions
+        delays = self.delays(weight, act_from, act_to)
+        return DelayProfile(weight=weight, act_from=act_from,
+                            act_to=act_to, delays_ps=delays)
+
+
+@dataclass
+class WeightTimingTable:
+    """Timing characterization of a set of weight values.
+
+    Stores, per weight, the maximum sensitized delay plus a *sparse* list
+    of slow combinations ``(weight, act_from, act_to, delay)`` above
+    ``floor_ps`` — everything the iterative selection of Sec. III-B needs
+    without materializing 255 x 2^16 dense matrices.
+
+    All delays are in picoseconds, already multiplied by ``time_scale``
+    (the calibration factor pinning the global maximum to the paper's
+    180 ps).
+    """
+
+    weights: np.ndarray
+    max_delay_ps: np.ndarray
+    combo_weight: np.ndarray
+    combo_act_from: np.ndarray
+    combo_act_to: np.ndarray
+    combo_delay_ps: np.ndarray
+    floor_ps: float
+    time_scale: float
+    psum_path_ps: float
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.int64)
+        self.max_delay_ps = np.asarray(self.max_delay_ps, dtype=np.float64)
+
+    @property
+    def global_max_delay_ps(self) -> float:
+        """Largest sensitized delay over all characterized weights."""
+        return float(self.max_delay_ps.max())
+
+    def max_delay_of(self, weight: int) -> float:
+        idx = np.where(self.weights == weight)[0]
+        if not idx.size:
+            raise KeyError(f"weight {weight} not characterized")
+        return float(self.max_delay_ps[idx[0]])
+
+    def combos_for(self, weights: Sequence[int]) -> Tuple[np.ndarray, ...]:
+        """Slow combos restricted to a candidate weight subset."""
+        mask = np.isin(self.combo_weight, np.asarray(weights))
+        return (self.combo_weight[mask], self.combo_act_from[mask],
+                self.combo_act_to[mask], self.combo_delay_ps[mask])
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        """Write the table as compressed numpy archive."""
+        np.savez_compressed(
+            path,
+            weights=self.weights,
+            max_delay_ps=self.max_delay_ps,
+            combo_weight=self.combo_weight,
+            combo_act_from=self.combo_act_from,
+            combo_act_to=self.combo_act_to,
+            combo_delay_ps=self.combo_delay_ps,
+            meta=np.array([self.floor_ps, self.time_scale,
+                           self.psum_path_ps]),
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "WeightTimingTable":
+        data = np.load(path)
+        floor_ps, time_scale, psum_path_ps = data["meta"]
+        return cls(
+            weights=data["weights"],
+            max_delay_ps=data["max_delay_ps"],
+            combo_weight=data["combo_weight"],
+            combo_act_from=data["combo_act_from"],
+            combo_act_to=data["combo_act_to"],
+            combo_delay_ps=data["combo_delay_ps"],
+            floor_ps=float(floor_ps),
+            time_scale=float(time_scale),
+            psum_path_ps=float(psum_path_ps),
+        )
+
+    @classmethod
+    def characterize(cls, profiler: WeightDelayProfiler,
+                     weights: Optional[Iterable[int]] = None,
+                     transitions: Optional[
+                         Tuple[np.ndarray, np.ndarray]] = None,
+                     floor_ps: float = 100.0,
+                     calibrate_to_ps: Optional[float] = ANCHOR_MAX_DELAY_PS,
+                     ) -> "WeightTimingTable":
+        """Profile ``weights`` and build the sparse table.
+
+        Args:
+            profiler: The per-weight DTA engine.
+            weights: Weight values to profile (default: all 255 symmetric
+                8-bit values).
+            transitions: Activation transitions to apply (default: the
+                full 2^16 enumeration, as in the paper).
+            floor_ps: Keep only combos slower than this (after
+                calibration); must be below the smallest delay threshold
+                the selection will use.
+            calibrate_to_ps: Pin the global maximum delay to this value
+                (``None`` keeps raw library delays).
+        """
+        mac = profiler.mac
+        if weights is None:
+            half = 1 << (mac.weight_bits - 1)
+            weights = range(-half + 1, half)
+        weights = np.asarray(sorted(set(int(w) for w in weights)))
+        if transitions is None:
+            transitions = profiler.all_transitions()
+        act_from, act_to = transitions
+
+        max_delays = np.empty(weights.size, dtype=np.float64)
+        slow: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for i, weight in enumerate(weights):
+            delays = profiler.delays(int(weight), act_from, act_to)
+            max_delays[i] = delays.max()
+            slow.append((int(weight), act_from, act_to, delays))
+
+        time_scale = 1.0
+        if calibrate_to_ps is not None and max_delays.max() > 0:
+            time_scale = calibrate_to_ps / max_delays.max()
+        max_delays *= time_scale
+
+        combo_w: List[np.ndarray] = []
+        combo_f: List[np.ndarray] = []
+        combo_t: List[np.ndarray] = []
+        combo_d: List[np.ndarray] = []
+        for weight, a_from, a_to, delays in slow:
+            scaled = delays * time_scale
+            mask = scaled > floor_ps
+            combo_w.append(np.full(int(mask.sum()), weight, dtype=np.int64))
+            combo_f.append(a_from[mask].astype(np.int64))
+            combo_t.append(a_to[mask].astype(np.int64))
+            combo_d.append(scaled[mask])
+
+        return cls(
+            weights=weights,
+            max_delay_ps=max_delays,
+            combo_weight=np.concatenate(combo_w),
+            combo_act_from=np.concatenate(combo_f),
+            combo_act_to=np.concatenate(combo_t),
+            combo_delay_ps=np.concatenate(combo_d),
+            floor_ps=floor_ps,
+            time_scale=time_scale,
+            psum_path_ps=profiler.model.psum_path_ps * time_scale,
+        )

@@ -1,0 +1,219 @@
+"""Delay-threshold weight/activation selection (paper Sec. III-B, Fig. 6).
+
+Given the slow combinations ``(weight, act_from, act_to, delay)`` above a
+delay threshold, the paper iteratively removes either the weight or one of
+the two activations of the currently slowest surviving combination —
+chosen *at random*, since the optimal removal order is hard — and repeats
+the whole process several times (20 in the experiments), keeping the best
+outcome.
+
+Removing a weight value kills every combo containing it; removing an
+activation value kills every combo where it appears as either transition
+endpoint.  The zero weight and the zero activation are protected: zero
+weights are the pruning target and zero activations are produced by ReLU,
+so neither can be forbidden in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.timing.profile import WeightTimingTable
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one delay-threshold selection.
+
+    Attributes:
+        threshold_ps: The delay threshold that was enforced.
+        weights: Surviving weight values (subset of the candidates).
+        activations: Surviving activation values.
+        removed_weights / removed_activations: What was dropped.
+        max_delay_ps: Largest delay still sensitizable by the surviving
+            sets (at most ``threshold_ps``).
+        restarts: Number of randomized restarts executed.
+    """
+
+    threshold_ps: float
+    weights: np.ndarray
+    activations: np.ndarray
+    removed_weights: np.ndarray
+    removed_activations: np.ndarray
+    max_delay_ps: float
+    restarts: int
+
+    @property
+    def n_weights(self) -> int:
+        return int(self.weights.size)
+
+    @property
+    def n_activations(self) -> int:
+        return int(self.activations.size)
+
+
+class DelaySelector:
+    """Randomized-removal selector over a :class:`WeightTimingTable`.
+
+    Args:
+        table: Sparse timing characterization.
+        protected_weights: Weight values that must never be removed.
+        protected_activations: Activation values that must never be
+            removed.
+        n_restarts: Randomized repetitions; the best run (most surviving
+            values, weights weighted equally with activations) wins.
+    """
+
+    def __init__(self, table: WeightTimingTable,
+                 protected_weights: Sequence[int] = (0,),
+                 protected_activations: Sequence[int] = (0,),
+                 n_restarts: int = 20) -> None:
+        if n_restarts < 1:
+            raise ValueError("need at least one restart")
+        self.table = table
+        self.protected_weights = frozenset(int(w)
+                                           for w in protected_weights)
+        self.protected_activations = frozenset(
+            int(a) for a in protected_activations
+        )
+        self.n_restarts = n_restarts
+
+    def select(self, threshold_ps: float,
+               candidate_weights: Optional[Sequence[int]] = None,
+               activation_values: Optional[Sequence[int]] = None,
+               seed: int = 2023) -> SelectionResult:
+        """Remove weights/activations until all delays fit the threshold.
+
+        Args:
+            threshold_ps: Target maximum sensitized delay.
+            candidate_weights: Starting weight set (default: everything in
+                the table — in the full flow this is the power-selected
+                set from Sec. III-A).
+            activation_values: Starting activation set (default: all 256
+                8-bit values).
+            seed: Base RNG seed; each restart derives its own stream.
+        """
+        if threshold_ps <= self.table.floor_ps:
+            raise ValueError(
+                f"threshold {threshold_ps} ps is at/below the table floor "
+                f"{self.table.floor_ps} ps; re-characterize with a lower "
+                f"floor"
+            )
+        if threshold_ps < self.table.psum_path_ps:
+            raise ValueError(
+                f"threshold {threshold_ps} ps below the static partial-sum "
+                f"path {self.table.psum_path_ps:.1f} ps; no selection can "
+                f"achieve it"
+            )
+        if candidate_weights is None:
+            candidate_weights = self.table.weights.tolist()
+        candidate_weights = sorted(set(int(w) for w in candidate_weights))
+        if activation_values is None:
+            activation_values = list(range(-128, 128))
+        activation_values = sorted(set(int(a) for a in activation_values))
+
+        cw, cf, ct, cd = self.table.combos_for(candidate_weights)
+        # Combos already below the threshold never force a removal.
+        relevant = cd > threshold_ps
+        cw, cf, ct, cd = cw[relevant], cf[relevant], ct[relevant], cd[relevant]
+        # Drop combos whose activations are not even candidates.
+        acts_arr = np.asarray(activation_values, dtype=np.int64)
+        alive_in = np.isin(cf, acts_arr) & np.isin(ct, acts_arr)
+        cw, cf, ct, cd = cw[alive_in], cf[alive_in], ct[alive_in], cd[alive_in]
+
+        order = np.argsort(-cd)
+        cw, cf, ct, cd = cw[order], cf[order], ct[order], cd[order]
+
+        # Inverted indexes: for every weight/activation value, the combo
+        # positions it participates in.  One removal then kills all its
+        # combos with a single fancy-index store, which keeps each restart
+        # linear in the combo count instead of quadratic.
+        weight_index: Dict[int, np.ndarray] = {
+            int(w): np.nonzero(cw == w)[0] for w in np.unique(cw)
+        }
+        act_index: Dict[int, np.ndarray] = {
+            int(a): np.nonzero((cf == a) | (ct == a))[0]
+            for a in np.unique(np.concatenate([cf, ct]))
+        } if cf.size else {}
+
+        best: Optional[Tuple[int, Set[int], Set[int]]] = None
+        for restart in range(self.n_restarts):
+            rng = np.random.default_rng(seed + restart)
+            weights_alive = set(candidate_weights)
+            acts_alive = set(activation_values)
+            alive = np.ones(cd.size, dtype=bool)
+            ptr = 0
+            while True:
+                # Advance to the slowest still-alive combo.
+                remaining = np.nonzero(alive[ptr:])[0]
+                if not remaining.size:
+                    break
+                ptr += int(remaining[0])
+                w, f, t = int(cw[ptr]), int(cf[ptr]), int(ct[ptr])
+                choices = []
+                if w not in self.protected_weights:
+                    choices.append(("w", w))
+                if f not in self.protected_activations:
+                    choices.append(("a", f))
+                if t != f and t not in self.protected_activations:
+                    choices.append(("a", t))
+                if not choices:
+                    raise RuntimeError(
+                        f"combo (w={w}, {f}->{t}) exceeds the threshold "
+                        f"but every member is protected"
+                    )
+                kind, value = choices[rng.integers(len(choices))]
+                if kind == "w":
+                    weights_alive.discard(value)
+                    alive[weight_index[value]] = False
+                else:
+                    acts_alive.discard(value)
+                    alive[act_index[value]] = False
+            score = len(weights_alive) + len(acts_alive)
+            if best is None or score > best[0]:
+                best = (score, weights_alive, acts_alive)
+
+        __, weights_alive, acts_alive = best
+        surviving_w = np.asarray(sorted(weights_alive), dtype=np.int64)
+        surviving_a = np.asarray(sorted(acts_alive), dtype=np.int64)
+        removed_w = np.asarray(
+            sorted(set(candidate_weights) - weights_alive), dtype=np.int64
+        )
+        removed_a = np.asarray(
+            sorted(set(activation_values) - acts_alive), dtype=np.int64
+        )
+        return SelectionResult(
+            threshold_ps=threshold_ps,
+            weights=surviving_w,
+            activations=surviving_a,
+            removed_weights=removed_w,
+            removed_activations=removed_a,
+            max_delay_ps=self._surviving_max_delay(
+                threshold_ps, weights_alive, acts_alive
+            ),
+            restarts=self.n_restarts,
+        )
+
+    def _surviving_max_delay(self, threshold_ps: float,
+                             weights_alive: Set[int],
+                             acts_alive: Set[int]) -> float:
+        """Largest delay the surviving sets can still sensitize.
+
+        Combos below the table floor are not stored, so the result is
+        floored at ``min(floor_ps, psum_path)`` — honest bookkeeping: the
+        true maximum is whatever survives above the floor, or at most the
+        floor itself.
+        """
+        cw, cf, ct, cd = self.table.combos_for(sorted(weights_alive))
+        if cd.size:
+            acts_arr = np.asarray(sorted(acts_alive), dtype=np.int64)
+            alive = np.isin(cf, acts_arr) & np.isin(ct, acts_arr)
+            alive_delays = cd[alive & (cd <= threshold_ps)]
+            if alive_delays.size:
+                return float(
+                    max(alive_delays.max(), self.table.psum_path_ps)
+                )
+        return float(max(self.table.floor_ps, self.table.psum_path_ps))

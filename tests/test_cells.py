@@ -1,0 +1,144 @@
+"""Tests for the cell library and voltage-scaling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells import (
+    CellLibrary,
+    VoltageModel,
+    default_library,
+    delay_scale,
+    dynamic_power_scale,
+    leakage_power_scale,
+)
+from repro.cells.library import Cell
+
+
+class TestCellLibrary:
+    def test_default_library_has_core_cells(self):
+        lib = default_library()
+        for name in ("INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2",
+                     "XNOR2", "BUF", "MUX2"):
+            assert name in lib
+
+    def test_lookup_by_name(self):
+        lib = default_library()
+        assert lib["INV"].num_inputs == 1
+        assert lib["XOR2"].num_inputs == 2
+
+    def test_unknown_cell_raises(self):
+        lib = default_library()
+        with pytest.raises(KeyError, match="NAND17"):
+            lib["NAND17"]
+
+    def test_nominal_voltage(self):
+        assert default_library().nominal_voltage == pytest.approx(0.8)
+
+    def test_xor_slower_than_inv(self):
+        lib = default_library()
+        assert lib.delay_ps("XOR2") > lib.delay_ps("INV")
+        assert lib.energy_fj("XOR2") > lib.energy_fj("INV")
+
+    def test_scaled_library(self):
+        lib = default_library()
+        scaled = lib.scaled(delay_factor=2.0, energy_factor=0.5)
+        assert scaled.delay_ps("INV") == pytest.approx(
+            2.0 * lib.delay_ps("INV"))
+        assert scaled.energy_fj("INV") == pytest.approx(
+            0.5 * lib.energy_fj("INV"))
+        assert scaled.leakage_nw("INV") == pytest.approx(
+            lib.leakage_nw("INV"))
+
+    def test_scaled_cell(self):
+        cell = Cell("T", 2, delay_ps=3.0, energy_fj=1.0, leakage_nw=5.0)
+        scaled = cell.scaled(delay_factor=1.5, leakage_factor=2.0)
+        assert scaled.delay_ps == pytest.approx(4.5)
+        assert scaled.leakage_nw == pytest.approx(10.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary("empty", [])
+
+    def test_iteration_and_len(self):
+        lib = default_library()
+        assert len(list(lib)) == len(lib)
+
+
+class TestVoltageLaws:
+    def test_delay_scale_is_one_at_nominal(self):
+        assert delay_scale(0.8) == pytest.approx(1.0)
+
+    def test_delay_increases_as_voltage_drops(self):
+        assert delay_scale(0.7) > delay_scale(0.75) > 1.0
+
+    def test_delay_scale_near_threshold_raises(self):
+        with pytest.raises(ValueError):
+            delay_scale(0.32)
+
+    def test_dynamic_power_quadratic(self):
+        assert dynamic_power_scale(0.4) == pytest.approx(0.25)
+
+    def test_leakage_power_cubic(self):
+        assert leakage_power_scale(0.4) == pytest.approx(0.125)
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_power_scale(0.0)
+        with pytest.raises(ValueError):
+            leakage_power_scale(-1.0)
+
+    @given(st.floats(min_value=0.5, max_value=0.8))
+    def test_delay_scale_monotone(self, vdd):
+        # Any voltage in the operating range is slower than nominal and
+        # faster than a strictly lower voltage.
+        assert delay_scale(vdd) >= 1.0 - 1e-12
+        assert delay_scale(vdd) <= delay_scale(vdd - 0.05) + 1e-12
+
+
+class TestVoltageModel:
+    def test_paper_anchor_points(self):
+        """Table I: slack 40/30/20 ps -> 0.71/0.73/0.75 V."""
+        model = VoltageModel()
+        assert model.min_voltage_for_slack(140.0, 180.0) == 0.71
+        assert model.min_voltage_for_slack(150.0, 180.0) == 0.73
+        assert model.min_voltage_for_slack(160.0, 180.0) == 0.75
+
+    def test_no_slack_keeps_nominal(self):
+        model = VoltageModel()
+        assert model.min_voltage_for_slack(180.0, 180.0) == 0.8
+
+    def test_delay_exceeding_clock_rejected(self):
+        model = VoltageModel()
+        with pytest.raises(ValueError):
+            model.min_voltage_for_slack(200.0, 180.0)
+
+    def test_nonpositive_delays_rejected(self):
+        model = VoltageModel()
+        with pytest.raises(ValueError):
+            model.min_voltage_for_slack(0.0, 180.0)
+
+    def test_power_scale_mixes_components(self):
+        model = VoltageModel()
+        pure_dyn = model.power_scale(0.71, leakage_fraction=0.0)
+        pure_leak = model.power_scale(0.71, leakage_fraction=1.0)
+        mixed = model.power_scale(0.71, leakage_fraction=0.5)
+        assert pure_dyn == pytest.approx(model.dynamic_power_scale(0.71))
+        assert pure_leak == pytest.approx(model.leakage_power_scale(0.71))
+        assert min(pure_dyn, pure_leak) < mixed < max(pure_dyn, pure_leak)
+
+    def test_power_scale_validates_fraction(self):
+        with pytest.raises(ValueError):
+            VoltageModel().power_scale(0.71, leakage_fraction=1.5)
+
+    def test_voltage_scaling_saves_power(self):
+        model = VoltageModel()
+        vdd = model.min_voltage_for_slack(140.0, 180.0)
+        assert model.power_scale(vdd, leakage_fraction=0.1) < 1.0
+
+    @given(st.floats(min_value=100.0, max_value=180.0))
+    def test_selected_voltage_always_meets_timing(self, max_delay):
+        model = VoltageModel()
+        vdd = model.min_voltage_for_slack(max_delay, 180.0)
+        # The scaled circuit must still fit in the clock period.
+        assert model.delay_scale(vdd) * max_delay <= 180.0 + 1e-9

@@ -1,0 +1,118 @@
+"""Tests for the CLI entry point, report serialization and the
+filtered-activation power refinement extension."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.core.report import PowerPruningReport
+from repro.power.estimator import PowerBreakdown
+from repro.power.transitions import TransitionDistribution, value_to_code
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"table1", "fig2", "fig3", "fig4",
+                                    "fig7", "fig8", "fig9"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig12"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--scale", "galactic"])
+
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "table1" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_fig3_runs_via_cli(self, capsys):
+        assert main(["fig3", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "delay profiles" in out
+
+
+def _report():
+    def pb(dyn, leak):
+        return PowerBreakdown(dynamic_uw=dyn, leakage_uw=leak)
+
+    return PowerPruningReport(
+        network="lenet5", dataset="cifar10",
+        accuracy_orig=0.8, accuracy_prop=0.78,
+        power_std_orig=pb(250_000, 40_000),
+        power_std_prop=pb(170_000, 40_000),
+        power_std_prop_vs=pb(130_000, 30_000),
+        power_opt_orig=pb(260_000, 12_000),
+        power_opt_prop=pb(90_000, 12_000),
+        power_opt_prop_vs=pb(65_000, 9_000),
+        n_selected_weights=32, n_selected_activations=176,
+        max_delay_reduction_ps=40.0, voltage_label="0.71/0.8",
+        power_threshold_uw=825.0, delay_threshold_ps=140.0,
+    )
+
+
+class TestReportSerialization:
+    def test_as_dict_is_json_serializable(self):
+        payload = _report().as_dict()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["network"] == "lenet5"
+        assert back["voltage_label"] == "0.71/0.8"
+        assert back["n_selected_weights"] == 32
+
+    def test_as_dict_contains_derived_columns(self):
+        payload = _report().as_dict()
+        assert payload["reduction_std"] == pytest.approx(
+            _report().reduction_std)
+        assert payload["reduction_opt"] == pytest.approx(
+            _report().reduction_opt)
+        assert "vs_contribution_std" in payload
+
+
+class TestRestrictedDistributionRefinement:
+    """The extension: activation filtering changes the stimulus."""
+
+    def test_restricted_distribution_reduces_support(self):
+        dist = TransitionDistribution.diagonal(256)
+        allowed_values = np.arange(-64, 65)
+        codes = value_to_code(allowed_values)
+        restricted = dist.restricted(codes)
+        # removed codes carry no probability
+        removed = np.setdiff1d(np.arange(256), codes)
+        assert restricted.matrix[removed, :].sum() == 0.0
+        assert restricted.matrix[:, removed].sum() == 0.0
+
+    def test_sampling_respects_filter(self):
+        dist = TransitionDistribution.diagonal(256)
+        codes = value_to_code(np.arange(0, 100))
+        restricted = dist.restricted(codes)
+        f, t = restricted.sample(500, np.random.default_rng(0))
+        assert np.isin(f, codes).all()
+        assert np.isin(t, codes).all()
+
+    @pytest.mark.slow
+    def test_pipeline_refinement_flag(self):
+        """With refinement on, the pipeline produces a filtered table
+        whose dynamic power is at most the unfiltered one on average."""
+        from repro.core import PipelineConfig, PowerPruner
+
+        config = PipelineConfig(
+            network="lenet5", dataset="cifar10", width_mult=0.35,
+            n_train=400, n_test=150, baseline_epochs=3, retrain_epochs=1,
+            char_weight_step=16, char_samples=300,
+            timing_transitions=1500, n_restarts=2,
+            refine_power_with_filtered_activations=True,
+        )
+        pruner = PowerPruner(config)
+        report = pruner.run()
+        if "power_table_filtered" in pruner.artifacts:
+            base = pruner.artifacts["power_table"]
+            refined = pruner.artifacts["power_table_filtered"]
+            assert refined.dynamic_uw.mean() <= base.dynamic_uw.mean() * 1.1
+        assert report.reduction_opt > 0

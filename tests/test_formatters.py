@@ -1,0 +1,117 @@
+"""Tests for the experiment formatting helpers (no training needed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2, fig3, fig4, fig7, fig8, fig9
+from repro.power.characterization import WeightPowerTable
+from repro.power.estimator import PowerBreakdown
+from repro.timing.profile import DelayProfile
+
+
+def _power_table():
+    weights = np.unique(np.concatenate([
+        np.arange(-127, 128, 8), [-105, -2, 0, 2, 64, 105]]))
+    power = 400.0 + 5.0 * np.abs(weights)
+    return WeightPowerTable(
+        weights=weights, power_uw=power, dynamic_uw=power - 10.0,
+        leakage_uw=10.0, clock_period_ps=180.0)
+
+
+class TestFig2Formatting:
+    def test_series_mentions_threshold(self):
+        result = fig2.Fig2Result(table=_power_table(), threshold_uw=900.0)
+        text = fig2.format_series(result, step=2)
+        assert "900 uW threshold" in text
+        assert "weight" in text
+
+    def test_summary_keys(self):
+        table = _power_table()
+        # ensure anchor values exist in this synthetic table
+        assert -105 in table.weights
+        result = fig2.Fig2Result(table=table, threshold_uw=900.0)
+        summary = result.summary()
+        assert {"min_uw", "max_uw", "zero_uw", "below_900"} <= set(summary)
+
+
+class TestFig3Formatting:
+    def test_histogram_counts_total(self):
+        rng = np.random.default_rng(0)
+        profile = DelayProfile(
+            weight=-105,
+            act_from=rng.integers(-128, 128, 500),
+            act_to=rng.integers(-128, 128, 500),
+            delays_ps=rng.uniform(30, 179, 500),
+        )
+        text = fig3.format_histogram(profile, time_scale=1.0)
+        assert "weight -105" in text
+        assert "max delay" in text
+
+
+class TestFig4Formatting:
+    def test_heatmap_dimensions(self):
+        matrix = np.random.default_rng(1).random((256, 256))
+        matrix /= matrix.sum()
+        text = fig4.format_heatmap(matrix, cells=16, label="test")
+        lines = text.splitlines()
+        assert lines[0] == "test"
+        assert len(lines) == 17
+        assert all(len(line) == 16 for line in lines[1:])
+
+
+def _bars():
+    return {
+        "LeNet-5-CIFAR-10": [
+            fig7.Fig7Bar("Baseline", PowerBreakdown(250_000, 40_000),
+                         0.92),
+            fig7.Fig7Bar("Pruned", PowerBreakdown(180_000, 40_000),
+                         0.91),
+            fig7.Fig7Bar("Proposed", PowerBreakdown(80_000, 30_000),
+                         0.89),
+        ]
+    }
+
+
+class TestFig7Formatting:
+    def test_chart_contains_stages(self):
+        result = fig7.Fig7Result(bars=_bars())
+        text = fig7.format_chart(result)
+        for stage in ("Baseline", "Pruned", "Proposed"):
+            assert stage in text
+        assert "L" in text  # stacked leakage marker
+
+    def test_reduction_vs_pruned(self):
+        result = fig7.Fig7Result(bars=_bars())
+        reduction = result.reduction_vs_pruned("LeNet-5-CIFAR-10")
+        assert reduction == pytest.approx(100 * (1 - 110 / 220))
+
+
+class TestFig8Fig9Formatting:
+    def test_fig8_series_text(self):
+        points = {
+            "LeNet-5-CIFAR-10": [
+                fig8.Fig8Point(None, 255, 0.91,
+                               PowerBreakdown(200_000, 40_000)),
+                fig8.Fig8Point(900.0, 86, 0.90,
+                               PowerBreakdown(150_000, 40_000)),
+            ]
+        }
+        text = fig8.format_series(fig8.Fig8Result(points=points))
+        assert "None" in text and "900" in text
+        assert "paper sweep" in text
+
+    def test_fig9_series_text(self):
+        points = {
+            "LeNet-5-CIFAR-10": [
+                fig9.Fig9Point(180.0, 48, 256, 0.91),
+                fig9.Fig9Point(140.0, 30, 73, 0.55),
+            ]
+        }
+        text = fig9.format_series(fig9.Fig9Result(points=points))
+        assert "180" in text and "73" in text
+        assert "paper sweep" in text
+
+    def test_fig8_accuracies_accessor(self):
+        points = {"x": [fig8.Fig8Point(None, 10, 0.5,
+                                       PowerBreakdown(1, 1))]}
+        assert fig8.Fig8Result(points=points).accuracies("x") == [0.5]

@@ -1,0 +1,150 @@
+"""Tests for the model zoo and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    cifar10_like,
+    cifar100_like,
+    imagenet_like,
+    load_dataset,
+)
+from repro.data.synthetic import generate
+from repro.models import (
+    EfficientNetB0Lite,
+    LeNet5,
+    build_model,
+    resnet20,
+    resnet50,
+)
+from repro.nn import Tensor, Trainer, TrainingConfig, softmax_cross_entropy
+from repro.nn.layers import QuantReLU
+
+
+def _forward_backward(model, num_classes, batch=4, hw=32):
+    x = np.random.default_rng(0).normal(
+        0, 1, (batch, 3, hw, hw)).astype(np.float32)
+    out = model(Tensor(x))
+    assert out.shape == (batch, num_classes)
+    loss = softmax_cross_entropy(
+        out, np.zeros(batch, dtype=np.int64))
+    loss.backward()
+    assert all(p.grad is not None for p in model.parameters())
+    return out
+
+
+class TestModels:
+    def test_lenet_shapes(self):
+        _forward_backward(LeNet5(num_classes=10), 10)
+
+    def test_lenet_width_mult(self):
+        small = LeNet5(width_mult=0.5)
+        full = LeNet5(width_mult=1.0)
+        assert (sum(p.size for p in small.parameters())
+                < sum(p.size for p in full.parameters()))
+
+    def test_resnet20_shapes(self):
+        _forward_backward(resnet20(width_mult=0.5), 10)
+
+    def test_resnet20_block_count(self):
+        model = resnet20()
+        assert len(model.blocks) == 9  # 3 stages x 3 basic blocks
+
+    def test_resnet50_shapes(self):
+        _forward_backward(
+            resnet50(num_classes=20, width_mult=0.25, depth_mult=0.5), 20)
+
+    def test_resnet50_bottleneck_expansion(self):
+        model = resnet50(width_mult=0.25)
+        assert model.classifier.in_features == 4 * 4 * 4  # width*4*4
+
+    def test_efficientnet_shapes(self):
+        model = EfficientNetB0Lite(num_classes=20, width_mult=0.25,
+                                   depth_mult=0.5, stages=4)
+        _forward_backward(model, 20)
+
+    def test_efficientnet_stage_validation(self):
+        with pytest.raises(ValueError):
+            EfficientNetB0Lite(stages=9)
+
+    def test_efficientnet_uses_relu6(self):
+        model = EfficientNetB0Lite(num_classes=10, width_mult=0.25,
+                                   stages=3)
+        relus = [m for m in model.modules() if isinstance(m, QuantReLU)]
+        assert relus and all(r.six for r in relus)
+
+    def test_registry(self):
+        for name in ("lenet5", "resnet20", "resnet50",
+                     "efficientnet-b0-lite"):
+            model = build_model(name, num_classes=10, width_mult=0.25,
+                                depth_mult=0.5)
+            assert model.parameters()
+
+    def test_registry_unknown(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("alexnet", num_classes=10)
+
+    def test_quantized_layer_enumeration(self):
+        model = resnet20(width_mult=0.25)
+        layers = model.quantized_layers()
+        # stem + 9 blocks x 2 convs + 2 shortcut projections + classifier
+        assert len(layers) == 1 + 18 + 2 + 1
+
+
+class TestSyntheticData:
+    def test_shapes_and_ranges(self):
+        ds = cifar10_like(n_train=100, n_test=40)
+        assert ds.x_train.shape == (100, 3, 32, 32)
+        assert ds.x_test.shape == (40, 3, 32, 32)
+        assert ds.num_classes == 10
+        assert np.abs(ds.x_train).max() <= 1.0 + 1e-6
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < 10
+
+    def test_balanced_classes(self):
+        ds = cifar10_like(n_train=200, n_test=50)
+        counts = np.bincount(ds.y_train, minlength=10)
+        assert counts.min() >= 15
+
+    def test_deterministic_given_seed(self):
+        a = cifar10_like(n_train=50, n_test=20, seed=7)
+        b = cifar10_like(n_train=50, n_test=20, seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = cifar10_like(n_train=50, n_test=20, seed=1)
+        b = cifar10_like(n_train=50, n_test=20, seed=2)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_cifar100_classes(self):
+        ds = cifar100_like(n_train=300, n_test=100, num_classes=20)
+        assert ds.num_classes == 20
+
+    def test_imagenet_like(self):
+        ds = imagenet_like(n_train=120, n_test=60, num_classes=12)
+        assert ds.num_classes == 12
+
+    def test_load_dataset_registry(self):
+        ds = load_dataset("cifar10", n_train=50, n_test=20)
+        assert ds.name == "cifar10-like"
+        with pytest.raises(ValueError):
+            load_dataset("mnist")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate("x", num_classes=1, n_train=10, n_test=10)
+        with pytest.raises(ValueError):
+            generate("x", num_classes=10, n_train=5, n_test=10)
+
+    def test_task_is_learnable(self):
+        """A small CNN must beat chance clearly but not saturate."""
+        from repro.nn.layers import seed_init
+
+        ds = cifar10_like(n_train=400, n_test=200, seed=3)
+        seed_init(7)  # decouple init from test execution order
+        model = LeNet5(width_mult=0.5)
+        trainer = Trainer(model, TrainingConfig(epochs=4, batch_size=32,
+                                                lr=0.05, seed=1))
+        history = trainer.fit(ds.x_train, ds.y_train, ds.x_test,
+                              ds.y_test)
+        assert history.best_test_accuracy > 0.5

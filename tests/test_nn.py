@@ -1,0 +1,417 @@
+"""Tests for layers, quantization, restriction, losses, optimizers and
+the trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    ActivationFilter,
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    Linear,
+    Module,
+    QuantConfig,
+    QuantReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    Trainer,
+    TrainingConfig,
+    WeightRestriction,
+    accuracy,
+    softmax_cross_entropy,
+)
+from repro.nn.quant import fake_quantize_ste, from_codes, to_codes, \
+    weight_scale
+
+
+class TestQuant:
+    def test_weight_scale_maps_peak(self):
+        w = np.array([-0.5, 0.25, 0.1])
+        scale = weight_scale(w, 127)
+        assert scale == pytest.approx(0.5 / 127)
+
+    def test_zero_weights_scale(self):
+        assert weight_scale(np.zeros(4), 127) > 0
+
+    def test_fake_quantize_levels(self):
+        x = Tensor(np.linspace(-1, 1, 100).astype(np.float32))
+        out = fake_quantize_ste(x, scale=1 / 127, qmin=-127, qmax=127)
+        codes = np.round(out.data * 127)
+        assert np.unique(codes).size <= 255
+        np.testing.assert_allclose(out.data, x.data, atol=1 / 127)
+
+    def test_fake_quantize_invalid_scale(self):
+        with pytest.raises(ValueError):
+            fake_quantize_ste(Tensor(np.zeros(2)), 0.0, -127, 127)
+
+    def test_clipped_ste_gradient(self):
+        x = Tensor(np.array([-3.0, 0.0, 3.0], dtype=np.float32),
+                   requires_grad=True)
+        out = fake_quantize_ste(x, scale=1 / 127, qmin=-127, qmax=127)
+        out.sum().backward()
+        # saturated lanes (|x| > 1) receive no gradient
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_code_roundtrip(self):
+        values = np.array([-0.5, 0.0, 0.5])
+        codes = to_codes(values, 0.5 / 127, -127, 127)
+        np.testing.assert_array_equal(codes, [-127, 0, 127])
+        back = from_codes(codes, 0.5 / 127)
+        np.testing.assert_allclose(back, values, atol=1e-6)
+
+    @given(st.integers(2, 16))
+    def test_qmax_consistency(self, bits):
+        config = QuantConfig(weight_bits=bits)
+        assert config.weight_qmax == (1 << (bits - 1)) - 1
+
+
+class TestRestriction:
+    def test_nearest_projection(self):
+        restriction = WeightRestriction([-4, 0, 4])
+        codes = np.array([-6, -3, -1, 1, 3, 6])
+        np.testing.assert_array_equal(
+            restriction(codes), [-4, -4, 0, 0, 4, 4])
+
+    def test_allowed_values_fixed_points(self):
+        restriction = WeightRestriction([-4, 0, 4])
+        np.testing.assert_array_equal(
+            restriction(np.array([-4, 0, 4])), [-4, 0, 4])
+
+    def test_zero_required(self):
+        with pytest.raises(ValueError, match="zero"):
+            WeightRestriction([1, 2])
+        with pytest.raises(ValueError, match="zero"):
+            ActivationFilter([1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightRestriction([])
+
+    def test_membership_and_len(self):
+        restriction = WeightRestriction([0, 5, -5])
+        assert 5 in restriction and 3 not in restriction
+        assert len(restriction) == 3
+
+    @given(st.lists(st.integers(-127, 127), min_size=1, max_size=30))
+    def test_projection_idempotent(self, allowed):
+        allowed = allowed + [0]
+        restriction = WeightRestriction(allowed)
+        codes = np.arange(-127, 128)
+        once = restriction(codes)
+        np.testing.assert_array_equal(once, restriction(once))
+
+    @given(st.lists(st.integers(-127, 127), min_size=2, max_size=30))
+    def test_projection_is_nearest(self, allowed):
+        allowed = sorted(set(allowed + [0]))
+        restriction = WeightRestriction(allowed)
+        codes = np.arange(-127, 128)
+        projected = restriction(codes)
+        arr = np.asarray(allowed)
+        best = np.abs(codes[:, None] - arr[None, :]).min(axis=1)
+        np.testing.assert_array_equal(
+            np.abs(codes - projected), best)
+
+
+class TestWeightLayers:
+    def test_conv_quantized_weights_on_grid(self):
+        conv = Conv2d(3, 4, 3)
+        codes, scale = conv.quantized_weights()
+        assert codes.min() >= -127 and codes.max() <= 127
+        assert np.abs(codes).max() == 127  # scale maps peak onto qmax
+
+    def test_conv_restriction_applied(self):
+        conv = Conv2d(3, 4, 3)
+        conv.weight_restriction = WeightRestriction([0, 64, -64, 127, -127])
+        codes, __ = conv.quantized_weights()
+        assert set(np.unique(codes)) <= {0, 64, -64, 127, -127}
+
+    def test_conv_forward_uses_restricted_weights(self):
+        conv = Conv2d(1, 1, 1, bias=False)
+        conv.weight.data[:] = 0.37
+        conv.weight_restriction = WeightRestriction([0, 127])
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = conv(x)
+        scale = weight_scale(conv.weight.data, 127)
+        assert out.data[0, 0, 0, 0] == pytest.approx(127 * scale)
+
+    def test_matmul_weight_layout(self):
+        conv = Conv2d(3, 8, 5)
+        assert conv.matmul_weight().shape == (3 * 25, 8)
+        linear = Linear(120, 84)
+        assert linear.matmul_weight().shape == (120, 84)
+        depthwise = DepthwiseConv2d(6, 3)
+        assert depthwise.matmul_weight().shape == (9, 6)
+
+    def test_prune_smallest(self):
+        conv = Conv2d(3, 8, 3)
+        sparsity = conv.prune_smallest(0.5)
+        assert sparsity == pytest.approx(0.5, abs=0.05)
+        assert (conv.weight.data[conv.weight_mask == 0] == 0).all()
+
+    def test_prune_fraction_validated(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, 3).prune_smallest(1.0)
+
+    def test_mask_survives_update(self):
+        linear = Linear(4, 2)
+        linear.prune_smallest(0.5)
+        linear.weight.data += 1.0  # simulated optimizer step
+        linear.apply_weight_masks()
+        assert (linear.weight.data[linear.weight_mask == 0] == 0).all()
+
+    def test_linear_input_validation(self):
+        with pytest.raises(ValueError):
+            Linear(4, 2)(Tensor(np.zeros((2, 4, 1))))
+
+
+class TestQuantReLU:
+    def test_negative_inputs_cut(self):
+        act = QuantReLU()
+        act.eval()
+        out = act(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        assert out.data[0] == 0.0
+
+    def test_running_max_updates_in_train_only(self):
+        act = QuantReLU()
+        act.train()
+        act(Tensor(np.array([4.0], dtype=np.float32)))
+        recorded = act.running_max
+        assert recorded > 0
+        act.eval()
+        act(Tensor(np.array([100.0], dtype=np.float32)))
+        assert act.running_max == recorded
+
+    def test_activation_filter_applied(self):
+        act = QuantReLU()
+        act.train()
+        act(Tensor(np.linspace(0, 1, 50).astype(np.float32)))
+        act.activation_filter = ActivationFilter([0, 64, 127])
+        act.capture_codes = True
+        act.eval()
+        act(Tensor(np.linspace(0, 1, 50).astype(np.float32)))
+        assert set(np.unique(act.last_codes)) <= {0, 64, 127}
+
+    def test_relu6_clamps(self):
+        act = QuantReLU(six=True)
+        act.train()
+        out = act(Tensor(np.array([10.0], dtype=np.float32)))
+        assert out.data[0] <= 6.0 + 1e-6
+
+    def test_quant_disabled_passthrough(self):
+        act = QuantReLU(QuantConfig(enabled=False))
+        x = np.array([0.1234567], dtype=np.float32)
+        out = act(Tensor(x))
+        np.testing.assert_array_equal(out.data, x)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self):
+        bn = BatchNorm2d(3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 2.0, (8, 3, 4, 4)).astype(np.float32)
+        out = bn(Tensor(x))
+        assert abs(out.data.mean()) < 1e-5
+        assert out.data.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_running_stats_move(self):
+        bn = BatchNorm2d(2)
+        x = np.full((4, 2, 2, 2), 3.0, dtype=np.float32)
+        bn(Tensor(x))
+        assert (bn.running_mean > 0).all()
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        rng = np.random.default_rng(1)
+        for __ in range(30):
+            bn(Tensor(rng.normal(2.0, 1.0, (16, 2, 3, 3))
+                      .astype(np.float32)))
+        bn.eval()
+        x = rng.normal(2.0, 1.0, (16, 2, 3, 3)).astype(np.float32)
+        out = bn(Tensor(x))
+        assert abs(out.data.mean()) < 0.3
+
+    def test_gradient_flows(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(2).normal(0, 1, (4, 2, 3, 3))
+                   .astype(np.float32), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((2, 4, 3, 3))))
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10), abs=1e-5)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32),
+                        requires_grad=True)
+        softmax_cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        z = rng.normal(0, 1, (5, 4)).astype(np.float64)
+        labels = rng.integers(0, 4, 5)
+        logits = Tensor(z.astype(np.float32), requires_grad=True)
+        softmax_cross_entropy(logits, labels).backward()
+        eps = 1e-4
+        for i in range(5):
+            for j in range(4):
+                zp = z.copy()
+                zp[i, j] += eps
+                zm = z.copy()
+                zm[i, j] -= eps
+
+                def loss_of(arr):
+                    t = arr - arr.max(axis=1, keepdims=True)
+                    p = np.exp(t) / np.exp(t).sum(axis=1, keepdims=True)
+                    return -np.log(
+                        p[np.arange(5), labels]).mean()
+
+                num = (loss_of(zp) - loss_of(zm)) / (2 * eps)
+                assert logits.grad[i, j] == pytest.approx(num, abs=1e-3)
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))),
+                                  np.zeros(3, dtype=int))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_cls, **kwargs):
+        x = Tensor(np.array([5.0], dtype=np.float32), requires_grad=True)
+        opt = optimizer_cls([x], **kwargs)
+        for __ in range(150):
+            opt.zero_grad()
+            (x * x).backward()
+            opt.step()
+        return abs(float(x.data[0]))
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(SGD, lr=0.05, momentum=0.5) < 0.05
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(Adam, lr=0.1) < 0.05
+
+    def test_invalid_lr(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.0)
+
+    def test_no_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = SGD([x], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.zero_grad()
+        x.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(x.data[0]) == pytest.approx(0.9)
+
+
+class TestModuleTraversal:
+    def test_sequential_parameters(self):
+        model = Sequential(Conv2d(3, 4, 3), QuantReLU(), Flatten(),
+                           Linear(4 * 30 * 30, 2))
+        names = [p.shape for p in model.parameters()]
+        assert len(names) == 4  # two weights + two biases
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Conv2d(3, 4, 3), QuantReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_set_restriction_walks_tree(self):
+        model = Sequential(Conv2d(3, 4, 3), QuantReLU(),
+                           Sequential(Linear(10, 5), QuantReLU()))
+        restriction = WeightRestriction([0, 1, -1])
+        act_filter = ActivationFilter([0, 5])
+        model.set_weight_restriction(restriction)
+        model.set_activation_filter(act_filter)
+        layers = model.quantized_layers()
+        assert len(layers) == 2
+        assert all(l.weight_restriction is restriction for l in layers)
+        relus = [m for m in model.modules() if isinstance(m, QuantReLU)]
+        assert all(r.activation_filter is act_filter for r in relus)
+
+
+class TestTrainer:
+    def _toy_data(self, n=128):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 1, (n, 8)).astype(np.float32)
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        return x, y
+
+    def _mlp(self):
+        return Sequential(Linear(8, 16), QuantReLU(), Linear(16, 2))
+
+    def test_training_improves_accuracy(self):
+        x, y = self._toy_data()
+        model = self._mlp()
+        trainer = Trainer(model, TrainingConfig(epochs=15, batch_size=32,
+                                                lr=0.05))
+        history = trainer.fit(x, y, x, y)
+        assert history.test_accuracy[-1] > 0.9
+
+    def test_history_lengths(self):
+        x, y = self._toy_data(64)
+        trainer = Trainer(self._mlp(), TrainingConfig(epochs=3,
+                                                      batch_size=16))
+        history = trainer.fit(x, y, x, y)
+        assert len(history.train_loss) == 3
+        assert len(history.test_accuracy) == 3
+        assert history.best_test_accuracy == max(history.test_accuracy)
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            Trainer(self._mlp(), TrainingConfig(optimizer="lamb"))
+
+    def test_pruning_mask_respected_during_training(self):
+        x, y = self._toy_data(64)
+        model = self._mlp()
+        layer = model.quantized_layers()[0]
+        layer.prune_smallest(0.5)
+        mask = layer.weight_mask.copy()
+        trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=16))
+        trainer.fit(x, y)
+        assert (layer.weight.data[mask == 0] == 0).all()
+
+    def test_lr_decay(self):
+        x, y = self._toy_data(32)
+        trainer = Trainer(self._mlp(), TrainingConfig(
+            epochs=2, batch_size=16, lr=0.1, lr_decay_epochs=(1,)))
+        trainer.fit(x, y)
+        assert trainer.optimizer.lr == pytest.approx(0.01)
+
+    def test_restricted_training_converges(self):
+        """Sec. III-C: training under weight restriction still learns."""
+        x, y = self._toy_data()
+        model = self._mlp()
+        model.set_weight_restriction(
+            WeightRestriction(list(range(-127, 128, 8)) + [0]))
+        trainer = Trainer(model, TrainingConfig(epochs=15, batch_size=32,
+                                                lr=0.05))
+        history = trainer.fit(x, y, x, y)
+        assert history.test_accuracy[-1] > 0.85

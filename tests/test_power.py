@@ -1,0 +1,318 @@
+"""Tests for power estimation, transitions, binning and characterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import default_library
+from repro.netlist import NetlistBuilder, build_mac_unit
+from repro.power import (
+    BinnedTransitions,
+    PartialSumBinner,
+    PowerEstimator,
+    TransitionDistribution,
+    WeightPowerCharacterizer,
+    WeightPowerTable,
+)
+from repro.power.transitions import code_to_value, value_to_code
+
+
+class TestPowerEstimator:
+    def _toy_netlist(self):
+        builder = NetlistBuilder()
+        a = builder.netlist.add_input("a")
+        b = builder.netlist.add_input("b")
+        builder.netlist.mark_output("y", builder.xor2(a, b))
+        return builder.build()
+
+    def test_dynamic_power_units(self):
+        """1 fJ per cycle at 1 GHz is exactly 1 uW."""
+        lib = default_library()
+        netlist = self._toy_netlist()
+        est = PowerEstimator(lib, clock_period_ps=1000.0)
+        rates = np.zeros(len(netlist.types))
+        xor_net = netlist.output_names["y"]
+        rates[xor_net] = 1.0
+        expected = lib.energy_fj("XOR2") * 1.0
+        assert est.dynamic_power_uw(netlist, rates) == pytest.approx(
+            expected)
+
+    def test_frequency(self):
+        est = PowerEstimator(default_library(), clock_period_ps=180.0)
+        assert est.frequency_ghz == pytest.approx(1000.0 / 180.0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            PowerEstimator(default_library(), clock_period_ps=0.0)
+
+    def test_leakage_sum(self):
+        lib = default_library()
+        netlist = self._toy_netlist()
+        est = PowerEstimator(lib)
+        assert est.leakage_power_uw(netlist) == pytest.approx(
+            lib.leakage_nw("XOR2") / 1000.0)
+
+    def test_voltage_scaling_reduces_both(self):
+        lib = default_library()
+        netlist = self._toy_netlist()
+        est = PowerEstimator(lib)
+        rates = np.ones(len(netlist.types)) * 0.2
+        nominal = est.power(netlist, rates)
+        scaled = est.power(netlist, rates, vdd=0.7)
+        assert scaled.dynamic_uw < nominal.dynamic_uw
+        assert scaled.leakage_uw < nominal.leakage_uw
+
+    def test_breakdown_add_and_scale(self):
+        from repro.power.estimator import PowerBreakdown
+        a = PowerBreakdown(10.0, 2.0)
+        b = PowerBreakdown(5.0, 1.0)
+        total = a + b
+        assert total.total_uw == pytest.approx(18.0)
+        halved = a.scaled(0.5, 0.25)
+        assert halved.dynamic_uw == pytest.approx(5.0)
+        assert halved.leakage_uw == pytest.approx(0.5)
+
+
+class TestTransitionDistribution:
+    def test_from_stream_counts(self):
+        dist = TransitionDistribution.from_stream(
+            np.array([0, 1, 1, 0]), n_codes=2)
+        # transitions: 0->1, 1->1, 1->0
+        assert dist.matrix[0, 1] == pytest.approx(1 / 3)
+        assert dist.matrix[1, 1] == pytest.approx(1 / 3)
+        assert dist.matrix[1, 0] == pytest.approx(1 / 3)
+        assert dist.matrix[0, 0] == 0.0
+
+    def test_from_pairs(self):
+        dist = TransitionDistribution.from_pairs(
+            np.array([0, 0]), np.array([1, 1]), n_codes=2)
+        assert dist.matrix[0, 1] == pytest.approx(1.0)
+
+    def test_codes_out_of_range(self):
+        with pytest.raises(ValueError):
+            TransitionDistribution.from_stream(np.array([0, 5]), n_codes=2)
+
+    def test_normalization(self):
+        dist = TransitionDistribution(np.ones((4, 4)))
+        assert dist.matrix.sum() == pytest.approx(1.0)
+
+    def test_negative_mass_rejected(self):
+        matrix = np.ones((3, 3))
+        matrix[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            TransitionDistribution(matrix)
+
+    def test_diagonal_structure(self):
+        """Fig. 4a: near-diagonal transitions dominate."""
+        dist = TransitionDistribution.diagonal(256, bandwidth=12.0)
+        assert dist.diagonal_mass(16) > 0.6
+        uniform = TransitionDistribution.uniform(256)
+        assert dist.diagonal_mass(16) > 3 * uniform.diagonal_mass(16)
+
+    def test_sampling_respects_support(self):
+        matrix = np.zeros((4, 4))
+        matrix[2, 3] = 1.0
+        dist = TransitionDistribution(matrix)
+        f, t = dist.sample(50, np.random.default_rng(0))
+        assert (f == 2).all() and (t == 3).all()
+
+    def test_marginals_sum_to_one(self):
+        dist = TransitionDistribution.diagonal(16)
+        assert dist.marginal_from().sum() == pytest.approx(1.0)
+        assert dist.marginal_to().sum() == pytest.approx(1.0)
+
+    def test_restricted(self):
+        dist = TransitionDistribution.uniform(4)
+        reduced = dist.restricted(np.array([0, 1]))
+        assert reduced.matrix[2:, :].sum() == 0.0
+        assert reduced.matrix[:, 2:].sum() == 0.0
+        assert reduced.matrix.sum() == pytest.approx(1.0)
+
+    def test_restricted_to_nothing_raises(self):
+        matrix = np.zeros((4, 4))
+        matrix[2, 3] = 1.0
+        dist = TransitionDistribution(matrix)
+        with pytest.raises(ValueError):
+            dist.restricted(np.array([0]))
+
+    def test_value_code_roundtrip(self):
+        values = np.arange(-128, 128)
+        np.testing.assert_array_equal(
+            code_to_value(value_to_code(values)), values)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            value_to_code(np.array([200]), bits=8)
+        with pytest.raises(ValueError):
+            code_to_value(np.array([300]), bits=8)
+
+
+class TestPartialSumBinner:
+    def _observed(self, n=5000, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(-(1 << 21), 1 << 21, n)
+
+    def test_fit_and_assign(self):
+        binner = PartialSumBinner(n_bins=10).fit(
+            self._observed(), rng=np.random.default_rng(1))
+        bins = binner.assign(self._observed(200, seed=2))
+        assert bins.min() >= 0 and bins.max() < 10
+
+    def test_assignment_minimizes_bit_distance(self):
+        binner = PartialSumBinner(n_bins=8).fit(
+            self._observed(), rng=np.random.default_rng(1))
+        from repro.sim.logic import int_to_bits
+        value = np.array([12345])
+        assigned = binner.assign(value)[0]
+        bits = int_to_bits(value, 22).astype(float)[0]
+        distances = np.abs(binner._centroids - bits).sum(axis=1)
+        assert assigned == distances.argmin()
+
+    def test_too_few_observations(self):
+        binner = PartialSumBinner(n_bins=50)
+        with pytest.raises(ValueError):
+            binner.fit(np.arange(10))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PartialSumBinner().assign(np.array([1]))
+
+    def test_sample_members_come_from_bin(self):
+        binner = PartialSumBinner(n_bins=5).fit(
+            self._observed(), rng=np.random.default_rng(3))
+        ids = np.array([0, 1, 2, 3, 4] * 10)
+        members = binner.sample_members(ids, np.random.default_rng(4))
+        # Each sampled value must be one of the exemplars recorded for
+        # the requested bin.  (Centroids drift during the single-pass
+        # fit, so re-assignment is not guaranteed to be identical.)
+        for value, bin_id in zip(members, ids):
+            assert value in binner._exemplars[bin_id]
+
+    def test_bin_sizes_cover_observations(self):
+        observed = self._observed(3000)
+        binner = PartialSumBinner(n_bins=10).fit(
+            observed, rng=np.random.default_rng(5))
+        # every observation lands in some bin, plus the n_bins seeds
+        assert binner.bin_sizes().sum() == observed.size + 10
+        assert (binner.bin_sizes() >= 1).all()
+
+    def test_min_bins(self):
+        with pytest.raises(ValueError):
+            PartialSumBinner(n_bins=1)
+
+
+class TestBinnedTransitions:
+    def test_from_stream_and_sampling(self):
+        rng = np.random.default_rng(6)
+        stream = rng.integers(-(1 << 20), 1 << 20, 4000)
+        binner = PartialSumBinner(n_bins=8).fit(stream, rng=rng)
+        binned = BinnedTransitions.from_stream(binner, stream)
+        f, t = binned.sample_values(100, rng)
+        assert f.shape == t.shape == (100,)
+        half = 1 << 21
+        assert (np.abs(f) <= half).all() and (np.abs(t) <= half).all()
+
+    def test_size_mismatch_rejected(self):
+        rng = np.random.default_rng(7)
+        stream = rng.integers(-(1 << 20), 1 << 20, 2000)
+        binner = PartialSumBinner(n_bins=8).fit(stream, rng=rng)
+        wrong = TransitionDistribution.uniform(9)
+        with pytest.raises(ValueError):
+            BinnedTransitions(binner, wrong)
+
+
+def _small_table():
+    return WeightPowerTable(
+        weights=np.array([-3, -1, 0, 1, 2]),
+        power_uw=np.array([900.0, 600.0, 150.0, 610.0, 700.0]),
+        dynamic_uw=np.array([890.0, 590.0, 140.0, 600.0, 690.0]),
+        leakage_uw=10.0,
+        clock_period_ps=180.0,
+    )
+
+
+class TestWeightPowerTable:
+    def test_power_lookup(self):
+        table = _small_table()
+        assert table.power_of(0) == pytest.approx(150.0)
+        with pytest.raises(KeyError):
+            table.power_of(5)
+
+    def test_dynamic_interpolation(self):
+        table = _small_table()
+        with pytest.raises(KeyError):
+            table.dynamic_of(-2)
+        interp = table.dynamic_of(-2, interpolate=True)
+        assert 590.0 < interp < 890.0
+
+    def test_select_below_keeps_zero(self):
+        table = _small_table()
+        selected = table.select_below(100.0)
+        np.testing.assert_array_equal(selected, [0])
+
+    def test_select_below_threshold(self):
+        table = _small_table()
+        selected = table.select_below(650.0)
+        np.testing.assert_array_equal(selected, [-1, 0, 1])
+
+    def test_count_below(self):
+        assert _small_table().count_below(650.0) == 3
+
+    def test_roundtrip_save_load(self, tmp_path):
+        table = _small_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = WeightPowerTable.load(path)
+        np.testing.assert_array_equal(loaded.weights, table.weights)
+        np.testing.assert_allclose(loaded.power_uw, table.power_uw)
+        assert loaded.leakage_uw == table.leakage_uw
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            WeightPowerTable(
+                weights=np.array([0, 1]),
+                power_uw=np.array([1.0]),
+                dynamic_uw=np.array([1.0]),
+                leakage_uw=0.0,
+                clock_period_ps=180.0,
+            )
+
+
+@pytest.fixture(scope="module")
+def ci_characterization():
+    """Small but real characterization shared across tests."""
+    mac = build_mac_unit()
+    lib = default_library()
+    rng = np.random.default_rng(0)
+    act_dist = TransitionDistribution.diagonal(256)
+    stream = rng.integers(-(1 << 18), 1 << 18, 4000)
+    binner = PartialSumBinner(n_bins=10).fit(stream, rng=rng)
+    binned = BinnedTransitions.from_stream(binner, stream)
+    char = WeightPowerCharacterizer(
+        mac, lib, act_dist, binned, n_samples=400)
+    table = char.characterize([-105, -64, -2, 0, 2, 5, 64, 105, 127])
+    return table
+
+
+class TestCharacterization:
+    def test_zero_weight_is_cheapest(self, ci_characterization):
+        table = ci_characterization
+        assert table.power_of(0) == table.power_uw.min()
+
+    def test_calibration_anchor(self, ci_characterization):
+        """The most expensive weight is pinned to the Fig. 2 peak."""
+        assert ci_characterization.power_uw.max() == pytest.approx(1066.0)
+
+    def test_digit_dense_weights_expensive(self, ci_characterization):
+        """Fig. 2 anchor ordering: -105 costs much more than -2."""
+        table = ci_characterization
+        assert table.power_of(-105) > table.power_of(-2)
+        assert table.power_of(105) > table.power_of(64)
+
+    def test_powers_positive_and_bounded(self, ci_characterization):
+        table = ci_characterization
+        assert (table.power_uw > 0).all()
+        assert (table.power_uw <= 1066.0 + 1e-6).all()
+
+    def test_energy_scale_recorded(self, ci_characterization):
+        assert ci_characterization.energy_scale > 0

@@ -1,0 +1,127 @@
+"""Tests for model state snapshot/restore and workload extraction on
+architectures with depthwise convolutions and residual paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_workloads
+from repro.models import EfficientNetB0Lite, resnet20
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    QuantReLU,
+    Sequential,
+    Tensor,
+    no_grad,
+)
+from repro.nn.restrict import WeightRestriction
+
+
+class TestStateDict:
+    def _model(self):
+        return Sequential(Conv2d(3, 4, 3, pad=1), BatchNorm2d(4),
+                          QuantReLU())
+
+    def test_roundtrip_restores_weights(self):
+        model = self._model()
+        state = model.state_dict()
+        conv = model.quantized_layers()[0]
+        original = conv.weight.data.copy()
+        conv.weight.data += 1.0
+        model.load_state_dict(state)
+        np.testing.assert_array_equal(conv.weight.data, original)
+
+    def test_snapshot_is_deep(self):
+        model = self._model()
+        state = model.state_dict()
+        conv = model.quantized_layers()[0]
+        conv.weight.data += 5.0
+        # mutating the model must not corrupt the snapshot
+        model.load_state_dict(state)
+        assert np.abs(conv.weight.data).max() < 5.0
+
+    def test_running_stats_restored(self):
+        model = self._model()
+        bn = [m for m in model.modules()
+              if isinstance(m, BatchNorm2d)][0]
+        x = np.random.default_rng(0).normal(2, 1, (8, 3, 6, 6)) \
+            .astype(np.float32)
+        model(Tensor(x))  # moves BN running stats and ReLU range
+        state = model.state_dict()
+        saved_mean = bn.running_mean.copy()
+        model(Tensor(x + 10))
+        model.load_state_dict(state)
+        np.testing.assert_array_equal(bn.running_mean, saved_mean)
+
+    def test_quantrelu_running_max_restored(self):
+        model = self._model()
+        relu = [m for m in model.modules()
+                if isinstance(m, QuantReLU)][0]
+        x = np.random.default_rng(1).normal(0, 1, (4, 3, 6, 6)) \
+            .astype(np.float32)
+        model(Tensor(x))
+        state = model.state_dict()
+        saved = relu.running_max
+        model(Tensor(x * 100))
+        assert relu.running_max != saved
+        model.load_state_dict(state)
+        assert relu.running_max == saved
+
+    def test_pruning_mask_roundtrip(self):
+        model = self._model()
+        conv = model.quantized_layers()[0]
+        conv.prune_smallest(0.5)
+        state = model.state_dict()
+        conv.weight_mask = None
+        model.load_state_dict(state)
+        assert conv.weight_mask is not None
+        # and the reverse: a None mask snapshot clears a later mask
+        fresh = self._model()
+        clean_state = fresh.state_dict()
+        fresh.quantized_layers()[0].prune_smallest(0.5)
+        fresh.load_state_dict(clean_state)
+        assert fresh.quantized_layers()[0].weight_mask is None
+
+
+class TestResidualWorkloads:
+    def test_resnet_workloads_extracted(self):
+        model = resnet20(width_mult=0.25)
+        x = np.random.default_rng(2).normal(0, 1, (2, 3, 32, 32)) \
+            .astype(np.float32)
+        workloads = extract_workloads(model, x)
+        assert len(workloads) == len(model.quantized_layers())
+        for workload in workloads:
+            assert workload.activations is not None
+            assert workload.activations.shape[0] == \
+                workload.weights.shape[0]
+
+    def test_efficientnet_depthwise_workloads(self):
+        model = EfficientNetB0Lite(num_classes=10, width_mult=0.25,
+                                   depth_mult=0.5, stages=3)
+        x = np.random.default_rng(3).normal(0, 1, (2, 3, 32, 32)) \
+            .astype(np.float32)
+        workloads = extract_workloads(model, x)
+        depthwise = [w for w in workloads
+                     if w.name.startswith("DepthwiseConv2d")]
+        assert depthwise
+        for workload in depthwise:
+            # depthwise matmul layout: (kh*kw, channels)
+            kk = workload.weights.shape[0]
+            assert kk in (9, 25)
+            assert workload.activations.shape[0] == kk
+
+    def test_restricted_model_workloads_respect_restriction(self):
+        model = resnet20(width_mult=0.25)
+        allowed = [0, 16, -16, 64, -64, 127, -127]
+        model.set_weight_restriction(WeightRestriction(allowed))
+        x = np.random.default_rng(4).normal(0, 1, (1, 3, 32, 32)) \
+            .astype(np.float32)
+        workloads = extract_workloads(model, x,
+                                      capture_activations=False)
+        for workload in workloads:
+            assert set(np.unique(workload.weights)) <= set(allowed)
+
+    def test_missing_forward_pass_raises(self):
+        model = resnet20(width_mult=0.25)
+        with pytest.raises(RuntimeError, match="forward"):
+            extract_workloads(model, x_sample=None)
