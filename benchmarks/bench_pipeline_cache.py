@@ -1,0 +1,39 @@
+"""Benchmark the artifact cache: cold vs warm pipeline wall-time.
+
+One Table I row (LeNet-5) runs twice against the same on-disk cache
+directory: the cold run computes and stores every stage, the warm run
+resumes all of them.  The warm/cold ratio anchors the perf trajectory
+of the stage-graph engine — a regression here means stage keys started
+churning or an expensive step escaped the graph.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.pipeline import PowerPruner
+from repro.experiments.config import NETWORK_SPECS, pipeline_config
+
+
+def _run_row(scale: str, cache_dir) -> "object":
+    config = pipeline_config(NETWORK_SPECS[0], scale)
+    return PowerPruner(config, cache_dir=cache_dir).run()
+
+
+def test_pipeline_cache_cold_vs_warm(benchmark, scale, tmp_path):
+    cache_dir = tmp_path / "artifact-cache"
+
+    start = time.perf_counter()
+    cold_report = _run_row(scale, cache_dir)
+    cold_s = time.perf_counter() - start
+
+    warm_report = run_once(benchmark, _run_row, scale, cache_dir)
+    warm_s = benchmark.stats["mean"]
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(f"\ncold {cold_s:.2f} s -> warm {warm_s:.3f} s "
+          f"({speedup:.0f}x)")
+
+    assert warm_report.as_dict() == cold_report.as_dict()
+    # Acceptance floor: a warm rerun must be at least 5x faster.
+    assert speedup >= 5.0

@@ -2,10 +2,17 @@
 
 Usage::
 
-    python -m repro table1 [--scale ci]
+    python -m repro table1 [--scale ci] [--jobs 4] [--cache-dir .cache]
     python -m repro fig2 [--scale smoke]
-    python -m repro fig7 --scale ci
+    python -m repro fig7 --scale ci --jobs 0 --cache-dir .repro-cache
     ...
+
+``--jobs`` fans independent units (Table I rows, figure panels) out
+across processes (``0`` = all cores).  ``--cache-dir`` turns on the
+on-disk content-addressed artifact cache: every stage of the pipeline
+graph (training, characterization, selection, ...) is stored under a
+key derived from the config, so repeated runs — and different
+experiments sharing a prefix — skip all unchanged work.
 """
 
 from __future__ import annotations
@@ -37,8 +44,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="ci",
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="processes for independent rows/panels "
+                             "(0 = all cores; default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk artifact cache shared across runs "
+                             "and workers (default: memory-only)")
     args = parser.parse_args(argv)
-    EXPERIMENTS[args.experiment](scale=args.scale)
+    EXPERIMENTS[args.experiment](scale=args.scale, jobs=args.jobs,
+                                 cache_dir=args.cache_dir)
     return 0
 
 

@@ -10,8 +10,12 @@
   and activation selection with retraining (Sec. III-B + III-C).
 * :mod:`repro.core.voltage_scaling` — supply-voltage scaling from the
   achieved delay reduction.
+* :mod:`repro.core.artifacts` — content-addressed artifact store
+  (memory + optional disk) keyed on config fields and upstream keys.
+* :mod:`repro.core.stages` — the flow as an explicit stage graph with
+  declared inputs/outputs, executed through the artifact store.
 * :mod:`repro.core.pipeline` — the end-to-end flow producing Table I
-  rows.
+  rows, composed from the stage graph.
 * :mod:`repro.core.report` — result records and pretty-printing.
 """
 
@@ -26,10 +30,25 @@ from repro.core.delay_selection import (
     delay_threshold_search,
 )
 from repro.core.voltage_scaling import VoltageScalingOutcome, scale_voltage
+from repro.core.artifacts import ArtifactStore, hash_key
+from repro.core.stages import (
+    PipelineOps,
+    Stage,
+    StageGraph,
+    StageRunner,
+    build_power_pruning_graph,
+)
 from repro.core.pipeline import PowerPruner, PipelineConfig
 from repro.core.report import PowerPruningReport, format_table1
 
 __all__ = [
+    "ArtifactStore",
+    "hash_key",
+    "Stage",
+    "StageGraph",
+    "StageRunner",
+    "PipelineOps",
+    "build_power_pruning_graph",
     "LayerWorkload",
     "extract_workloads",
     "magnitude_prune",

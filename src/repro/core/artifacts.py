@@ -1,0 +1,186 @@
+"""Content-addressed artifact store for pipeline stage outputs.
+
+Every stage output is addressed by a key that hashes the stage's own
+identity (name + version), the configuration fields it reads, and the
+keys of its upstream artifacts.  Two runs that share a prefix of the
+stage graph therefore share the prefix's keys — and with a common store
+the expensive work (training, characterization) happens exactly once.
+
+The store has two layers:
+
+* an in-memory dict, always on — repeated lookups within a process
+  return the *same object* instantly;
+* an optional on-disk cache (one pickle per key, written atomically via
+  rename), so separate processes and separate runs share artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["ArtifactStore", "hash_key"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce ``value`` to canonical JSON-encodable primitives."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly and avoids 825 vs 825.0 drift
+        return f"f:{value!r}"
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return _jsonable(float(value))
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    raise TypeError(
+        f"cannot build a stable artifact key from {type(value).__name__}"
+    )
+
+
+def hash_key(payload: Any) -> str:
+    """Deterministic content hash of a key payload (nested primitives)."""
+    canonical = json.dumps(_jsonable(payload), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Two-layer (memory + optional disk) content-addressed store.
+
+    Args:
+        cache_dir: Directory for the on-disk layer; created on first
+            write.  ``None`` keeps the store memory-only.
+
+    Attributes:
+        hits / misses: Lookup counters (``get_or_compute`` only).
+        disk_hits: Subset of ``hits`` served from disk.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None
+                 ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() \
+                and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache_dir {str(self.cache_dir)!r} exists and is not "
+                f"a directory")
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _read_disk(self, key: str) -> Any:
+        path = self._path(key)
+        if path is None or not path.is_file():
+            raise KeyError(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A truncated/corrupt entry (e.g. a killed writer) is a miss.
+            raise KeyError(key) from None
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
+                                        prefix=f".{key[:16]}-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)  # atomic: parallel writers race OK
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.is_file()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch without computing (memory first, then disk)."""
+        if key in self._memory:
+            return self._memory[key]
+        try:
+            value = self._read_disk(key)
+        except KeyError:
+            return default
+        self._memory[key] = value
+        return value
+
+    def put(self, key: str, value: Any) -> Any:
+        """Store in memory and (when configured) on disk."""
+        self._memory[key] = value
+        self._write_disk(key, value)
+        return value
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any],
+                       persist: bool = True) -> Any:
+        """Return the cached artifact or compute-and-store it.
+
+        Args:
+            key: Content-addressed artifact key.
+            compute: Producer invoked on a miss.
+            persist: When ``False`` the artifact stays in the memory
+                layer only — for outputs that are large but cheap and
+                deterministic to regenerate (e.g. synthetic datasets).
+        """
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if persist:
+            try:
+                value = self._read_disk(key)
+            except KeyError:
+                pass
+            else:
+                self.hits += 1
+                self.disk_hits += 1
+                self._memory[key] = value
+                return value
+        self.misses += 1
+        value = compute()
+        if persist:
+            return self.put(key, value)
+        self._memory[key] = value
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()

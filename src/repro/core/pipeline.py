@@ -10,51 +10,36 @@ Stages, mirroring Sec. III-C:
    selecting weights *and* activations, with retraining.
 5. Scale the supply voltage into the freed timing slack.
 6. Estimate Standard-HW / Optimized-HW power of the final network.
+
+The flow itself lives in :mod:`repro.core.stages` as an explicit stage
+graph; :class:`PowerPruner` composes it through a content-addressed
+:class:`~repro.core.artifacts.ArtifactStore`, so repeated runs — and
+any experiment sharing the store or an on-disk cache directory — reuse
+every unchanged stage prefix instantly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.cells import default_library
-from repro.cells.voltage import VoltageModel
-from repro.core.delay_selection import (
-    DEFAULT_THRESHOLDS_PS,
-    delay_threshold_search,
-)
-from repro.core.power_selection import (
-    DEFAULT_THRESHOLDS_UW,
-    power_threshold_search,
-)
-from repro.core.pruning import magnitude_prune
+from repro.core.artifacts import ArtifactStore
+from repro.core.delay_selection import DEFAULT_THRESHOLDS_PS
+from repro.core.power_selection import DEFAULT_THRESHOLDS_UW
 from repro.core.report import PowerPruningReport
-from repro.core.voltage_scaling import scale_voltage
-from repro.core.workloads import (
-    LayerWorkload,
-    extract_workloads,
-    largest_conv_workloads,
+from repro.core.stages import (
+    PipelineOps,
+    StageRunner,
+    build_power_pruning_graph,
 )
-from repro.data import load_dataset
-from repro.models import build_model
-from repro.netlist import build_mac_unit
-from repro.nn import Trainer, TrainingConfig
-from repro.nn.layers import Module
-from repro.power import WeightPowerCharacterizer
-from repro.power.characterization import WeightPowerTable
-from repro.power.estimator import PowerBreakdown
-from repro.systolic import (
-    OPTIMIZED_HW,
-    STANDARD_HW,
-    ArrayPowerModel,
-    MacPowerParams,
-    SystolicArray,
-    SystolicConfig,
-    TransitionStatsCollector,
-)
-from repro.timing import WeightDelayProfiler, WeightTimingTable
+
+#: Weight values referenced throughout the paper's figures; always
+#: characterized regardless of the CI-scale stride.
+CHAR_ANCHOR_WEIGHTS = (-105, -64, -2, -1, 0, 1, 2, 64, 105, 127)
+
+#: One shared, immutable graph instance — stages are stateless, so every
+#: pruner/runner can reuse it.
+POWER_PRUNING_GRAPH = build_power_pruning_graph()
 
 
 @dataclass
@@ -94,291 +79,107 @@ class PipelineConfig:
     seed: int = 0
     verbose: bool = False
 
-    def char_weights(self) -> List[int]:
-        """Weight values to characterize (stride-reduced at CI scale)."""
+    def char_weights(self) -> Tuple[int, ...]:
+        """Weight values to characterize (stride-reduced at CI scale).
+
+        The result is cached per ``char_weight_step`` — stage-key
+        hashing and repeated characterizations hit the same tuple.
+        """
+        cached = self.__dict__.get("_char_weights_cache")
+        if cached is not None and cached[0] == self.char_weight_step:
+            return cached[1]
         weights = set(range(-127, 128, max(1, self.char_weight_step)))
-        # Anchor values referenced throughout the paper's figures.
-        weights.update((-105, -64, -2, -1, 0, 1, 2, 64, 105, 127, -127))
-        return sorted(weights)
+        weights.update(CHAR_ANCHOR_WEIGHTS)
+        result = tuple(sorted(weights))
+        self.__dict__["_char_weights_cache"] = (self.char_weight_step,
+                                                result)
+        return result
 
 
 class PowerPruner:
-    """Runs the full PowerPruning flow for one network/dataset pair."""
+    """Runs the full PowerPruning flow for one network/dataset pair.
 
-    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+    Args:
+        config: Scale and hyper-parameters; CI defaults when omitted.
+        cache_dir: Optional on-disk artifact cache — runs (and worker
+            processes) pointing at the same directory share every
+            unchanged stage.
+        store: An existing :class:`ArtifactStore` to share in-process;
+            overrides ``cache_dir``.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 cache_dir=None,
+                 store: Optional[ArtifactStore] = None) -> None:
         self.config = config or PipelineConfig()
-        self.library = default_library()
-        self.mac = build_mac_unit()
-        self.systolic_config = SystolicConfig()
-        self.voltage_model = VoltageModel()
+        self.graph = POWER_PRUNING_GRAPH
+        self.ops = PipelineOps(self.config)
+        self.store = store if store is not None else ArtifactStore(
+            cache_dir)
         self.artifacts: Dict[str, object] = {}
+        # Shared hardware models, kept as attributes for compatibility.
+        self.library = self.ops.library
+        self.mac = self.ops.mac
+        self.systolic_config = self.ops.systolic_config
+        self.voltage_model = self.ops.voltage_model
+
+    def runner(self) -> StageRunner:
+        """A stage runner over this pruner's config and store."""
+        return StageRunner(self.graph, self.ops, self.store)
 
     # ------------------------------------------------------------------
-    # helper stages
+    # helper stages (compatibility wrappers around the ops backend)
     # ------------------------------------------------------------------
     def _log(self, message: str) -> None:
-        if self.config.verbose:
-            print(f"[powerpruner] {message}")
+        self.ops.log(message)
 
     def _build_dataset(self):
-        config = self.config
-        kwargs = {"n_train": config.n_train, "n_test": config.n_test}
-        if config.dataset in ("cifar100", "imagenet"):
-            kwargs["num_classes"] = config.num_classes
-        return load_dataset(config.dataset, **kwargs)
-
-    def _trainer(self, model: Module, epochs: int) -> Trainer:
-        config = self.config
-        decay = tuple(e for e in config.lr_decay_epochs if e < epochs)
-        return Trainer(model, TrainingConfig(
-            epochs=epochs, batch_size=config.batch_size, lr=config.lr,
-            lr_decay_epochs=decay, seed=config.seed, verbose=False))
+        return self.ops.build_dataset()
 
     def _retrain_fn(self, dataset):
-        def retrain(model: Module) -> float:
-            trainer = self._trainer(model, self.config.retrain_epochs)
-            trainer.fit(dataset.x_train, dataset.y_train)
-            return trainer.evaluate(dataset.x_test, dataset.y_test)
+        return self.ops.retrain_fn(dataset)
 
-        return retrain
-
-    def collect_statistics(self, model: Module, dataset
-                           ) -> TransitionStatsCollector:
+    def collect_statistics(self, model, dataset):
         """Run the network's hottest layers through the array, collecting
         the Fig. 4 transition statistics."""
-        sample = dataset.x_test[:self.config.stats_batch]
-        workloads = extract_workloads(model, sample, self.systolic_config)
-        self.artifacts["workloads_traced"] = workloads
-        stats = TransitionStatsCollector(
-            act_bits=self.systolic_config.act_bits,
-            psum_bits=self.systolic_config.psum_bits,
-            seed=self.config.seed,
-        )
-        array = SystolicArray(self.systolic_config)
-        hottest = largest_conv_workloads(workloads,
-                                         top=self.config.stats_layers)
-        for workload in hottest:
-            if workload.activations is None:
-                continue
-            array.run_layer(workload.weights, workload.activations,
-                            stats=stats)
-        return stats
+        return self.ops.collect_statistics(model, dataset)
 
-    def characterize_power(self, stats: TransitionStatsCollector
-                           ) -> WeightPowerTable:
+    def characterize_power(self, stats):
         """Per-weight power table from measured operand statistics."""
-        act_dist = stats.activation_distribution()
-        binned = stats.binned_psum_transitions(n_bins=50,
-                                               seed=self.config.seed)
-        self.artifacts["act_distribution"] = act_dist
-        self.artifacts["psum_binned"] = binned
-        characterizer = WeightPowerCharacterizer(
-            self.mac, self.library, act_dist, binned,
-            clock_period_ps=self.systolic_config.clock_period_ps,
-            n_samples=self.config.char_samples,
-        )
-        return characterizer.characterize(self.config.char_weights(),
-                                          seed=self.config.seed)
+        return self.ops.characterize_power(stats)
 
-    def characterize_timing(self, candidate_weights: Sequence[int]
-                            ) -> WeightTimingTable:
+    def characterize_timing(self, candidate_weights):
         """Per-weight timing table for the power-selected candidates."""
-        profiler = WeightDelayProfiler(self.mac, self.library)
-        transitions = None
-        if self.config.timing_transitions is not None:
-            act_from, act_to = profiler.all_transitions()
-            rng = np.random.default_rng(self.config.seed)
-            chosen = rng.choice(
-                act_from.size,
-                size=min(self.config.timing_transitions, act_from.size),
-                replace=False,
-            )
-            transitions = (act_from[chosen], act_to[chosen])
-        return WeightTimingTable.characterize(
-            profiler, weights=candidate_weights, transitions=transitions,
-            floor_ps=self.config.timing_floor_ps,
-        )
+        return self.ops.characterize_timing(candidate_weights)
 
-    def recharacterize_filtered(self, allowed_activations
-                                ) -> WeightPowerTable:
-        """Re-run the power characterization under the activation filter.
-
-        Extension beyond the paper: once activation selection removes
-        values, the transitions feeding the MAC change — transitions into
-        or out of removed codes can no longer occur, which lowers the
-        effective switching activity.  The refined table keeps the
-        original calibration (``calibrate_to_uw=None`` + the recorded
-        energy scale) so the numbers stay comparable.
-        """
-        from repro.power.transitions import value_to_code
-
-        act_dist = self.artifacts["act_distribution"]
-        binned = self.artifacts["psum_binned"]
-        base_table: WeightPowerTable = self.artifacts["power_table"]
-        codes = value_to_code(np.asarray(allowed_activations),
-                              self.systolic_config.act_bits)
-        restricted = act_dist.restricted(codes)
-        characterizer = WeightPowerCharacterizer(
-            self.mac, self.library, restricted, binned,
-            clock_period_ps=self.systolic_config.clock_period_ps,
-            n_samples=self.config.char_samples,
-            calibrate_to_uw=None,
-        )
-        table = characterizer.characterize(self.config.char_weights(),
-                                           seed=self.config.seed)
-        # Re-apply the baseline table's calibration factor.
-        return WeightPowerTable(
-            weights=table.weights,
-            power_uw=table.dynamic_uw * base_table.energy_scale
-            + table.leakage_uw,
-            dynamic_uw=table.dynamic_uw * base_table.energy_scale,
-            leakage_uw=table.leakage_uw,
-            clock_period_ps=table.clock_period_ps,
-            energy_scale=base_table.energy_scale,
-        )
-
-    def measure_power(self, model: Module, dataset,
-                      table: WeightPowerTable,
-                      vdd: Optional[float] = None
-                      ) -> Tuple[PowerBreakdown, PowerBreakdown]:
+    def measure_power(self, model, dataset, table, vdd=None):
         """(Standard HW, Optimized HW) average power of the network."""
-        sample = dataset.x_test[:2]
-        workloads = extract_workloads(model, sample, self.systolic_config,
-                                      capture_activations=False)
-        power_model = ArrayPowerModel(
-            self.systolic_config,
-            MacPowerParams(table=table,
-                           clock_power_uw=self.config.clock_power_uw),
-            voltage_model=self.voltage_model,
-        )
-        layers = [(w.schedule, w.weights) for w in workloads]
-        return (power_model.network_power(layers, STANDARD_HW, vdd=vdd),
-                power_model.network_power(layers, OPTIMIZED_HW, vdd=vdd))
+        return self.ops.measure_power(model, dataset, table, vdd=vdd)
 
     # ------------------------------------------------------------------
     # the full flow
     # ------------------------------------------------------------------
     def run(self) -> PowerPruningReport:
-        config = self.config
-        dataset = self._build_dataset()
-        from repro.nn.layers import seed_init
+        """Execute (or resume from cache) every stage; return the report.
 
-        seed_init(config.seed)  # bitwise-reproducible initialization
-        model = build_model(config.network, num_classes=config.num_classes,
-                            width_mult=config.width_mult,
-                            depth_mult=config.depth_mult)
-        retrain = self._retrain_fn(dataset)
+        Stage outputs are mirrored into :attr:`artifacts` under their
+        historical names.
+        """
+        runner = self.runner()
+        report = runner.get("report")
 
-        # 1. baseline QAT training
-        self._log(f"training {config.network} baseline")
-        trainer = self._trainer(model, config.baseline_epochs)
-        trainer.fit(dataset.x_train, dataset.y_train)
-        accuracy_orig = trainer.evaluate(dataset.x_test, dataset.y_test)
-        self._log(f"baseline accuracy {accuracy_orig:.3f}")
-
-        # 2. operand statistics + power characterization
-        stats = self.collect_statistics(model, dataset)
-        power_table = self.characterize_power(stats)
-        self.artifacts["power_table"] = power_table
-
-        # original power (before any of the method's steps)
-        power_std_orig, power_opt_orig = self.measure_power(
-            model, dataset, power_table)
-        self.artifacts["accuracy_orig"] = accuracy_orig
-
-        # 3. conventional pruning + retraining (Fig. 7 "Pruned" stage)
-        magnitude_prune(model, config.prune_fraction)
-        accuracy_pruned = retrain(model)
-        power_std_pruned, power_opt_pruned = self.measure_power(
-            model, dataset, power_table)
-        self.artifacts["pruned"] = {
-            "accuracy": accuracy_pruned,
-            "power_std": power_std_pruned,
-            "power_opt": power_opt_pruned,
-        }
-        self._log(f"pruned accuracy {accuracy_pruned:.3f}")
-
-        # 4. power-threshold weight selection
-        power_outcome = power_threshold_search(
-            model, power_table, retrain,
-            baseline_accuracy=accuracy_pruned,
-            thresholds=config.power_thresholds_uw,
-            max_drop=config.power_max_drop,
-        )
-        self.artifacts["power_selection"] = power_outcome
-        self._log(
-            f"power threshold {power_outcome.threshold_uw} -> "
-            f"{power_outcome.n_weights} weights, "
-            f"accuracy {power_outcome.accuracy:.3f}"
-        )
-
-        # 5. timing characterization + delay-threshold selection
-        timing_table = self.characterize_timing(
-            power_outcome.allowed_weights)
-        self.artifacts["timing_table"] = timing_table
-        delay_outcome = delay_threshold_search(
-            model, timing_table,
-            candidate_weights=power_outcome.allowed_weights,
-            retrain=retrain, original_accuracy=accuracy_orig,
-            thresholds=config.delay_thresholds_ps,
-            max_drop_fraction=config.delay_max_drop_fraction,
-            n_restarts=config.n_restarts, seed=config.seed,
-        )
-        self.artifacts["delay_selection"] = delay_outcome
-        self._log(
-            f"delay threshold {delay_outcome.threshold_ps} -> "
-            f"accuracy {delay_outcome.accuracy:.3f}"
-        )
-
-        # 6. voltage scaling into the freed slack.  The paper reads the
-        # achieved max delay at its 10 ps search granularity, i.e. the
-        # accepted threshold, not the exact surviving-combo maximum.
-        achieved_delay = (delay_outcome.threshold_ps
-                          if delay_outcome.threshold_ps is not None
-                          else delay_outcome.max_delay_ps)
-        scaling = scale_voltage(
-            achieved_delay,
-            self.systolic_config.clock_period_ps,
-            self.voltage_model,
-        )
-        self.artifacts["voltage_scaling"] = scaling
-
-        # final power with and without voltage scaling
-        final_table = power_table
-        if (config.refine_power_with_filtered_activations
-                and delay_outcome.selection is not None):
-            final_table = self.recharacterize_filtered(
-                delay_outcome.selection.activations)
-            self.artifacts["power_table_filtered"] = final_table
-        power_std_prop, power_opt_prop = self.measure_power(
-            model, dataset, final_table)
-        power_std_vs, power_opt_vs = self.measure_power(
-            model, dataset, final_table, vdd=scaling.vdd)
-
-        if delay_outcome.selection is not None:
-            n_weights = delay_outcome.selection.n_weights
-            n_acts = delay_outcome.selection.n_activations
-        else:
-            n_weights = power_outcome.n_weights
-            n_acts = 1 << self.systolic_config.act_bits
-        accuracy_prop = delay_outcome.accuracy
-
-        return PowerPruningReport(
-            network=config.network,
-            dataset=config.dataset,
-            accuracy_orig=accuracy_orig,
-            accuracy_prop=accuracy_prop,
-            power_std_orig=power_std_orig,
-            power_std_prop=power_std_prop,
-            power_std_prop_vs=power_std_vs,
-            power_opt_orig=power_opt_orig,
-            power_opt_prop=power_opt_prop,
-            power_opt_prop_vs=power_opt_vs,
-            n_selected_weights=n_weights,
-            n_selected_activations=n_acts,
-            max_delay_reduction_ps=scaling.delay_reduction_ps,
-            voltage_label=scaling.scaling_factor_label,
-            power_threshold_uw=power_outcome.threshold_uw,
-            delay_threshold_ps=delay_outcome.threshold_ps,
-            extras={"pruned": self.artifacts["pruned"]},
-        )
+        power = runner.get("power_measurement")
+        self.artifacts.update({
+            "accuracy_orig": runner.get("baseline")["accuracy"],
+            "operand_stats": runner.get("operand_stats"),
+            "power_table": runner.get("power_table"),
+            "power_selection": runner.get("power_selection")["outcome"],
+            "timing_table": runner.get("timing_table"),
+            "delay_selection": runner.get("delay_selection")["outcome"],
+            "voltage_scaling": runner.get("voltage_scaling"),
+            "pruned": report.extras["pruned"],
+        })
+        if power["filtered_table"] is not None:
+            self.artifacts["power_table_filtered"] = power[
+                "filtered_table"]
+        return report

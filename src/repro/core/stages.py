@@ -1,0 +1,657 @@
+"""The PowerPruning flow as an explicit stage graph.
+
+Each :class:`Stage` declares the configuration fields it reads and the
+upstream stages it consumes; :class:`StageGraph` derives from those a
+content-addressed key per stage (see :mod:`repro.core.artifacts`), and
+:class:`StageRunner` executes stages on demand through an
+:class:`~repro.core.artifacts.ArtifactStore` so every unchanged prefix
+of the graph is reused instantly — across pipeline runs, threshold
+sweeps, figure experiments and worker processes.
+
+The graph (paper Sec. III-C)::
+
+    dataset ──► baseline ──► pruned ──► power_selection ─► timing_table
+       │           │            │             │                 │
+       │           └─► operand_stats ─► power_table ────────────┤
+       │                                      │                 ▼
+       │                                      │          delay_selection
+       │                                      │                 │
+       │                                      │         voltage_scaling
+       └──────────────────────────────────────┴────────┬────────┘
+                                                       ▼
+                                             power_measurement ─► report
+
+Stage outputs are plain picklable values; stages that conceptually
+produce "the model" return its ``state_dict`` plus the active
+weight/activation restriction, and downstream stages rebuild the live
+module from that record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.artifacts import ArtifactStore, hash_key
+from repro.core.delay_selection import delay_threshold_search
+from repro.core.power_selection import power_threshold_search
+from repro.core.pruning import magnitude_prune
+from repro.core.report import PowerPruningReport
+from repro.core.voltage_scaling import scale_voltage
+from repro.core.workloads import extract_workloads, largest_conv_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import PipelineConfig
+
+__all__ = [
+    "Stage",
+    "StageGraph",
+    "StageRunner",
+    "PipelineOps",
+    "build_power_pruning_graph",
+    "POWER_PRUNING_STAGES",
+]
+
+
+# ----------------------------------------------------------------------
+# generic machinery
+# ----------------------------------------------------------------------
+StageFn = Callable[["PipelineOps", Dict[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One typed node of the pipeline graph.
+
+    Attributes:
+        name: Unique stage name.
+        fn: ``fn(ops, inputs)`` computing the output; ``inputs`` maps
+            each dependency name to its artifact.
+        deps: Upstream stage names.
+        fields: Configuration fields whose values feed the stage key —
+            change one and this stage (plus everything downstream)
+            recomputes while the rest of the graph stays cached.
+        version: Bump to invalidate cached outputs after a code change.
+        persist: ``False`` keeps the output in the memory layer only —
+            for artifacts that are large but cheap to regenerate.
+    """
+
+    name: str
+    fn: StageFn
+    deps: Tuple[str, ...] = ()
+    fields: Tuple[str, ...] = ()
+    version: str = "1"
+    persist: bool = True
+
+
+class StageGraph:
+    """A registry of stages with content-addressed keying.
+
+    Stages must be added dependencies-first, which also guarantees the
+    graph is acyclic.
+    """
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, Stage] = {}
+
+    def add(self, stage: Stage) -> Stage:
+        if stage.name in self._stages:
+            raise ValueError(f"duplicate stage {stage.name!r}")
+        missing = [d for d in stage.deps if d not in self._stages]
+        if missing:
+            raise ValueError(
+                f"stage {stage.name!r} depends on unknown stages "
+                f"{missing}; add dependencies first")
+        self._stages[stage.name] = stage
+        return stage
+
+    def __getitem__(self, name: str) -> Stage:
+        return self._stages[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages.values())
+
+    def names(self) -> List[str]:
+        """Stage names in (topological) insertion order."""
+        return list(self._stages)
+
+    def key(self, name: str, config: "PipelineConfig",
+            _memo: Optional[Dict[str, str]] = None) -> str:
+        """Content-addressed artifact key of ``name`` under ``config``."""
+        memo = _memo if _memo is not None else {}
+        if name in memo:
+            return memo[name]
+        stage = self._stages[name]
+        payload = {
+            "stage": stage.name,
+            "version": stage.version,
+            "config": {f: getattr(config, f) for f in stage.fields},
+            "deps": {d: self.key(d, config, memo) for d in stage.deps},
+        }
+        memo[name] = hash_key(payload)
+        return memo[name]
+
+    def keys(self, config: "PipelineConfig") -> Dict[str, str]:
+        """All stage keys under ``config`` (shared memo, one pass)."""
+        memo: Dict[str, str] = {}
+        for name in self._stages:
+            self.key(name, config, memo)
+        return memo
+
+
+class StageRunner:
+    """Executes a stage graph through an artifact store.
+
+    Args:
+        graph: The stage graph.
+        ops: Backend the stage functions run against (holds the config
+            and the hardware models).
+        store: Artifact store; a fresh memory-only store by default.
+    """
+
+    def __init__(self, graph: StageGraph, ops: "PipelineOps",
+                 store: Optional[ArtifactStore] = None) -> None:
+        self.graph = graph
+        self.ops = ops
+        self.store = store if store is not None else ArtifactStore()
+
+    @property
+    def config(self) -> "PipelineConfig":
+        return self.ops.config
+
+    def key(self, name: str) -> str:
+        return self.graph.key(name, self.ops.config)
+
+    def get(self, name: str) -> Any:
+        """The artifact of ``name``, computing missing prefixes."""
+        stage = self.graph[name]
+
+        def compute() -> Any:
+            inputs = {dep: self.get(dep) for dep in stage.deps}
+            self.ops.log(f"stage {name}: computing")
+            return stage.fn(self.ops, inputs)
+
+        return self.store.get_or_compute(self.key(name), compute,
+                                         persist=stage.persist)
+
+
+# ----------------------------------------------------------------------
+# the PowerPruning backend
+# ----------------------------------------------------------------------
+class PipelineOps:
+    """Stateless-ish backend the stage functions run against.
+
+    Owns the configuration plus the shared hardware models (cell
+    library, MAC netlist, systolic/voltage models) and provides the
+    operations stages compose.  All randomness is seeded from the
+    config, so every operation is a pure function of its arguments.
+    """
+
+    def __init__(self, config: "PipelineConfig", library=None, mac=None,
+                 systolic_config=None, voltage_model=None) -> None:
+        from repro.cells import default_library
+        from repro.cells.voltage import VoltageModel
+        from repro.netlist import build_mac_unit
+        from repro.systolic import SystolicConfig
+
+        self.config = config
+        self.library = library if library is not None else default_library()
+        self.mac = mac if mac is not None else build_mac_unit()
+        self.systolic_config = (systolic_config if systolic_config
+                                is not None else SystolicConfig())
+        self.voltage_model = (voltage_model if voltage_model is not None
+                              else VoltageModel())
+
+    def log(self, message: str) -> None:
+        if self.config.verbose:
+            print(f"[powerpruner] {message}")
+
+    # -- dataset / model ----------------------------------------------
+    def build_dataset(self):
+        from repro.data import load_dataset
+
+        config = self.config
+        kwargs = {"n_train": config.n_train, "n_test": config.n_test}
+        if config.dataset in ("cifar100", "imagenet"):
+            kwargs["num_classes"] = config.num_classes
+        return load_dataset(config.dataset, **kwargs)
+
+    def build_model(self):
+        from repro.models import build_model
+        from repro.nn.layers import seed_init
+
+        config = self.config
+        seed_init(config.seed)  # bitwise-reproducible initialization
+        return build_model(config.network, num_classes=config.num_classes,
+                           width_mult=config.width_mult,
+                           depth_mult=config.depth_mult)
+
+    def model_from_state(self, state: dict,
+                         weight_restriction=None,
+                         activation_filter=None):
+        """Rebuild a live module from a stage's model record."""
+        from repro.nn.restrict import ActivationFilter, WeightRestriction
+
+        model = self.build_model()
+        model.load_state_dict(state)
+        if weight_restriction is not None:
+            model.set_weight_restriction(
+                WeightRestriction(weight_restriction))
+        if activation_filter is not None:
+            model.set_activation_filter(
+                ActivationFilter(activation_filter))
+        return model
+
+    # -- training ------------------------------------------------------
+    def trainer(self, model, epochs: int):
+        from repro.nn import Trainer, TrainingConfig
+
+        config = self.config
+        decay = tuple(e for e in config.lr_decay_epochs if e < epochs)
+        return Trainer(model, TrainingConfig(
+            epochs=epochs, batch_size=config.batch_size, lr=config.lr,
+            lr_decay_epochs=decay, seed=config.seed, verbose=False))
+
+    def retrain_fn(self, dataset):
+        def retrain(model) -> float:
+            trainer = self.trainer(model, self.config.retrain_epochs)
+            trainer.fit(dataset.x_train, dataset.y_train)
+            return trainer.evaluate(dataset.x_test, dataset.y_test)
+
+        return retrain
+
+    # -- characterization ---------------------------------------------
+    def collect_statistics(self, model, dataset):
+        """Fig. 4 transition statistics from the hottest layers."""
+        from repro.systolic import SystolicArray, TransitionStatsCollector
+
+        sample = dataset.x_test[:self.config.stats_batch]
+        workloads = extract_workloads(model, sample, self.systolic_config)
+        stats = TransitionStatsCollector(
+            act_bits=self.systolic_config.act_bits,
+            psum_bits=self.systolic_config.psum_bits,
+            seed=self.config.seed,
+        )
+        array = SystolicArray(self.systolic_config)
+        hottest = largest_conv_workloads(workloads,
+                                         top=self.config.stats_layers)
+        for workload in hottest:
+            if workload.activations is None:
+                continue
+            array.run_layer(workload.weights, workload.activations,
+                            stats=stats)
+        return stats
+
+    def characterize_power(self, stats):
+        """Per-weight power table from measured operand statistics."""
+        from repro.power import WeightPowerCharacterizer
+
+        act_dist = stats.activation_distribution()
+        binned = stats.binned_psum_transitions(n_bins=50,
+                                               seed=self.config.seed)
+        characterizer = WeightPowerCharacterizer(
+            self.mac, self.library, act_dist, binned,
+            clock_period_ps=self.systolic_config.clock_period_ps,
+            n_samples=self.config.char_samples,
+        )
+        return characterizer.characterize(self.config.char_weights(),
+                                          seed=self.config.seed)
+
+    def characterize_timing(self, candidate_weights: Sequence[int]):
+        """Per-weight timing table for the power-selected candidates."""
+        from repro.timing import WeightDelayProfiler, WeightTimingTable
+
+        profiler = WeightDelayProfiler(self.mac, self.library)
+        transitions = None
+        if self.config.timing_transitions is not None:
+            act_from, act_to = profiler.all_transitions()
+            rng = np.random.default_rng(self.config.seed)
+            chosen = rng.choice(
+                act_from.size,
+                size=min(self.config.timing_transitions, act_from.size),
+                replace=False,
+            )
+            transitions = (act_from[chosen], act_to[chosen])
+        return WeightTimingTable.characterize(
+            profiler, weights=candidate_weights, transitions=transitions,
+            floor_ps=self.config.timing_floor_ps,
+        )
+
+    def recharacterize_filtered(self, allowed_activations, stats,
+                                base_table):
+        """Power table refined under the activation filter (extension).
+
+        Once activation selection removes values, transitions into or
+        out of removed codes can no longer occur, lowering the
+        effective switching activity.  The refined table keeps the base
+        table's calibration so the numbers stay comparable.
+        """
+        from repro.power import WeightPowerCharacterizer
+        from repro.power.characterization import WeightPowerTable
+        from repro.power.transitions import value_to_code
+
+        act_dist = stats.activation_distribution()
+        binned = stats.binned_psum_transitions(n_bins=50,
+                                               seed=self.config.seed)
+        codes = value_to_code(np.asarray(allowed_activations),
+                              self.systolic_config.act_bits)
+        restricted = act_dist.restricted(codes)
+        characterizer = WeightPowerCharacterizer(
+            self.mac, self.library, restricted, binned,
+            clock_period_ps=self.systolic_config.clock_period_ps,
+            n_samples=self.config.char_samples,
+            calibrate_to_uw=None,
+        )
+        table = characterizer.characterize(self.config.char_weights(),
+                                           seed=self.config.seed)
+        return WeightPowerTable(
+            weights=table.weights,
+            power_uw=table.dynamic_uw * base_table.energy_scale
+            + table.leakage_uw,
+            dynamic_uw=table.dynamic_uw * base_table.energy_scale,
+            leakage_uw=table.leakage_uw,
+            clock_period_ps=table.clock_period_ps,
+            energy_scale=base_table.energy_scale,
+        )
+
+    # -- measurement ---------------------------------------------------
+    def measure_power(self, model, dataset, table, vdd=None):
+        """(Standard HW, Optimized HW) average power of the network."""
+        from repro.systolic import (
+            OPTIMIZED_HW,
+            STANDARD_HW,
+            ArrayPowerModel,
+            MacPowerParams,
+        )
+
+        sample = dataset.x_test[:2]
+        workloads = extract_workloads(model, sample, self.systolic_config,
+                                      capture_activations=False)
+        power_model = ArrayPowerModel(
+            self.systolic_config,
+            MacPowerParams(table=table,
+                           clock_power_uw=self.config.clock_power_uw),
+            voltage_model=self.voltage_model,
+        )
+        layers = [(w.schedule, w.weights) for w in workloads]
+        return (power_model.network_power(layers, STANDARD_HW, vdd=vdd),
+                power_model.network_power(layers, OPTIMIZED_HW, vdd=vdd))
+
+
+# ----------------------------------------------------------------------
+# stage implementations
+# ----------------------------------------------------------------------
+def _stage_dataset(ops: PipelineOps, inputs: Dict[str, Any]):
+    return ops.build_dataset()
+
+
+def _stage_baseline(ops: PipelineOps, inputs: Dict[str, Any]):
+    dataset = inputs["dataset"]
+    model = ops.build_model()
+    trainer = ops.trainer(model, ops.config.baseline_epochs)
+    trainer.fit(dataset.x_train, dataset.y_train)
+    accuracy = trainer.evaluate(dataset.x_test, dataset.y_test)
+    ops.log(f"baseline accuracy {accuracy:.3f}")
+    return {"state": model.state_dict(), "accuracy": accuracy}
+
+
+def _stage_pruned(ops: PipelineOps, inputs: Dict[str, Any]):
+    model = ops.model_from_state(inputs["baseline"]["state"])
+    sparsities = magnitude_prune(model, ops.config.prune_fraction)
+    accuracy = ops.retrain_fn(inputs["dataset"])(model)
+    ops.log(f"pruned accuracy {accuracy:.3f}")
+    return {"state": model.state_dict(), "accuracy": accuracy,
+            "sparsities": sparsities}
+
+
+def _stage_operand_stats(ops: PipelineOps, inputs: Dict[str, Any]):
+    model = ops.model_from_state(inputs["baseline"]["state"])
+    return ops.collect_statistics(model, inputs["dataset"])
+
+
+def _stage_power_table(ops: PipelineOps, inputs: Dict[str, Any]):
+    return ops.characterize_power(inputs["operand_stats"])
+
+
+def _stage_power_selection(ops: PipelineOps, inputs: Dict[str, Any]):
+    config = ops.config
+    pruned = inputs["pruned"]
+    model = ops.model_from_state(pruned["state"])
+    outcome = power_threshold_search(
+        model, inputs["power_table"],
+        ops.retrain_fn(inputs["dataset"]),
+        baseline_accuracy=pruned["accuracy"],
+        thresholds=config.power_thresholds_uw,
+        max_drop=config.power_max_drop,
+    )
+    ops.log(f"power threshold {outcome.threshold_uw} -> "
+            f"{outcome.n_weights} weights, accuracy "
+            f"{outcome.accuracy:.3f}")
+    restriction = (outcome.allowed_weights
+                   if outcome.threshold_uw is not None else None)
+    return {"outcome": outcome, "state": model.state_dict(),
+            "restriction": restriction}
+
+
+def _stage_timing_table(ops: PipelineOps, inputs: Dict[str, Any]):
+    outcome = inputs["power_selection"]["outcome"]
+    return ops.characterize_timing(outcome.allowed_weights)
+
+
+def _stage_delay_selection(ops: PipelineOps, inputs: Dict[str, Any]):
+    config = ops.config
+    selected = inputs["power_selection"]
+    model = ops.model_from_state(
+        selected["state"], weight_restriction=selected["restriction"])
+    outcome = delay_threshold_search(
+        model, inputs["timing_table"],
+        candidate_weights=selected["outcome"].allowed_weights,
+        retrain=ops.retrain_fn(inputs["dataset"]),
+        original_accuracy=inputs["baseline"]["accuracy"],
+        thresholds=config.delay_thresholds_ps,
+        max_drop_fraction=config.delay_max_drop_fraction,
+        n_restarts=config.n_restarts, seed=config.seed,
+    )
+    ops.log(f"delay threshold {outcome.threshold_ps} -> "
+            f"accuracy {outcome.accuracy:.3f}")
+    if outcome.selection is not None:
+        weights = outcome.selection.weights
+        activations = outcome.selection.activations
+    else:
+        # No threshold passed: the network keeps the power-selection
+        # restriction and stays unfiltered.
+        weights = selected["restriction"]
+        activations = None
+    return {"outcome": outcome, "state": model.state_dict(),
+            "weights": weights, "activations": activations}
+
+
+def _stage_voltage_scaling(ops: PipelineOps, inputs: Dict[str, Any]):
+    outcome = inputs["delay_selection"]["outcome"]
+    # The paper reads the achieved max delay at its 10 ps search
+    # granularity, i.e. the accepted threshold, not the exact
+    # surviving-combo maximum.
+    achieved = (outcome.threshold_ps if outcome.threshold_ps is not None
+                else outcome.max_delay_ps)
+    return scale_voltage(achieved, ops.systolic_config.clock_period_ps,
+                         ops.voltage_model)
+
+
+def _stage_power_measurement(ops: PipelineOps, inputs: Dict[str, Any]):
+    config = ops.config
+    dataset = inputs["dataset"]
+    table = inputs["power_table"]
+    scaling = inputs["voltage_scaling"]
+    selected = inputs["delay_selection"]
+
+    baseline_model = ops.model_from_state(inputs["baseline"]["state"])
+    std_orig, opt_orig = ops.measure_power(baseline_model, dataset, table)
+
+    pruned_model = ops.model_from_state(inputs["pruned"]["state"])
+    std_pruned, opt_pruned = ops.measure_power(pruned_model, dataset,
+                                               table)
+
+    final_model = ops.model_from_state(
+        selected["state"],
+        weight_restriction=selected["weights"],
+        activation_filter=selected["activations"],
+    )
+    final_table = table
+    filtered_table = None
+    if (config.refine_power_with_filtered_activations
+            and selected["outcome"].selection is not None):
+        filtered_table = ops.recharacterize_filtered(
+            selected["activations"], inputs["operand_stats"], table)
+        final_table = filtered_table
+    std_prop, opt_prop = ops.measure_power(final_model, dataset,
+                                           final_table)
+    std_vs, opt_vs = ops.measure_power(final_model, dataset, final_table,
+                                       vdd=scaling.vdd)
+    return {
+        "std_orig": std_orig, "opt_orig": opt_orig,
+        "std_pruned": std_pruned, "opt_pruned": opt_pruned,
+        "std_prop": std_prop, "opt_prop": opt_prop,
+        "std_prop_vs": std_vs, "opt_prop_vs": opt_vs,
+        "filtered_table": filtered_table,
+    }
+
+
+def _stage_report(ops: PipelineOps, inputs: Dict[str, Any]):
+    config = ops.config
+    power = inputs["power_measurement"]
+    power_outcome = inputs["power_selection"]["outcome"]
+    delay_outcome = inputs["delay_selection"]["outcome"]
+    scaling = inputs["voltage_scaling"]
+
+    if delay_outcome.selection is not None:
+        n_weights = delay_outcome.selection.n_weights
+        n_acts = delay_outcome.selection.n_activations
+    else:
+        n_weights = power_outcome.n_weights
+        n_acts = 1 << ops.systolic_config.act_bits
+
+    return PowerPruningReport(
+        network=config.network,
+        dataset=config.dataset,
+        accuracy_orig=inputs["baseline"]["accuracy"],
+        accuracy_prop=delay_outcome.accuracy,
+        power_std_orig=power["std_orig"],
+        power_std_prop=power["std_prop"],
+        power_std_prop_vs=power["std_prop_vs"],
+        power_opt_orig=power["opt_orig"],
+        power_opt_prop=power["opt_prop"],
+        power_opt_prop_vs=power["opt_prop_vs"],
+        n_selected_weights=n_weights,
+        n_selected_activations=n_acts,
+        max_delay_reduction_ps=scaling.delay_reduction_ps,
+        voltage_label=scaling.scaling_factor_label,
+        power_threshold_uw=power_outcome.threshold_uw,
+        delay_threshold_ps=delay_outcome.threshold_ps,
+        extras={"pruned": {
+            "accuracy": inputs["pruned"]["accuracy"],
+            "power_std": power["std_pruned"],
+            "power_opt": power["opt_pruned"],
+        }},
+    )
+
+
+#: Stage names in execution (topological) order.
+POWER_PRUNING_STAGES: Tuple[str, ...] = (
+    "dataset",
+    "baseline",
+    "pruned",
+    "operand_stats",
+    "power_table",
+    "power_selection",
+    "timing_table",
+    "delay_selection",
+    "voltage_scaling",
+    "power_measurement",
+    "report",
+)
+
+#: Training fields shared by every stage that retrains the network.
+_RETRAIN_FIELDS = ("retrain_epochs", "batch_size", "lr",
+                   "lr_decay_epochs", "seed")
+
+
+def build_power_pruning_graph() -> StageGraph:
+    """The full PowerPruning flow as a typed stage graph."""
+    graph = StageGraph()
+    graph.add(Stage(
+        "dataset", _stage_dataset,
+        fields=("dataset", "num_classes", "n_train", "n_test"),
+        # Synthetic data is seed-deterministic and cheap to regenerate;
+        # pickling paper-scale arrays to disk would dwarf every other
+        # artifact for zero saved work.
+        persist=False,
+    ))
+    graph.add(Stage(
+        "baseline", _stage_baseline, deps=("dataset",),
+        fields=("network", "num_classes", "width_mult", "depth_mult",
+                "baseline_epochs", "batch_size", "lr",
+                "lr_decay_epochs", "seed"),
+    ))
+    graph.add(Stage(
+        "pruned", _stage_pruned, deps=("dataset", "baseline"),
+        fields=("prune_fraction",) + _RETRAIN_FIELDS,
+    ))
+    graph.add(Stage(
+        "operand_stats", _stage_operand_stats,
+        deps=("dataset", "baseline"),
+        fields=("stats_batch", "stats_layers", "seed"),
+    ))
+    graph.add(Stage(
+        "power_table", _stage_power_table, deps=("operand_stats",),
+        fields=("char_weight_step", "char_samples", "seed"),
+    ))
+    graph.add(Stage(
+        "power_selection", _stage_power_selection,
+        deps=("dataset", "pruned", "power_table"),
+        fields=("power_thresholds_uw", "power_max_drop")
+        + _RETRAIN_FIELDS,
+    ))
+    graph.add(Stage(
+        "timing_table", _stage_timing_table, deps=("power_selection",),
+        fields=("timing_transitions", "timing_floor_ps", "seed"),
+    ))
+    graph.add(Stage(
+        "delay_selection", _stage_delay_selection,
+        deps=("dataset", "baseline", "power_selection", "timing_table"),
+        fields=("delay_thresholds_ps", "delay_max_drop_fraction",
+                "n_restarts") + _RETRAIN_FIELDS,
+    ))
+    graph.add(Stage(
+        "voltage_scaling", _stage_voltage_scaling,
+        deps=("delay_selection",),
+    ))
+    graph.add(Stage(
+        "power_measurement", _stage_power_measurement,
+        deps=("dataset", "baseline", "pruned", "operand_stats",
+              "power_table", "delay_selection", "voltage_scaling"),
+        fields=("clock_power_uw",
+                "refine_power_with_filtered_activations",
+                "char_weight_step", "char_samples", "seed"),
+    ))
+    graph.add(Stage(
+        "report", _stage_report,
+        deps=("baseline", "pruned", "power_selection", "delay_selection",
+              "voltage_scaling", "power_measurement"),
+        fields=("network", "dataset"),
+    ))
+    return graph

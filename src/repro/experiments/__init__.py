@@ -17,6 +17,7 @@ from repro.experiments.config import (
     ExperimentScale,
     pipeline_config,
 )
+from repro.experiments.parallel import parallel_map, run_table1_rows
 from repro.experiments.runner import ExperimentContext
 
 __all__ = [
@@ -24,4 +25,6 @@ __all__ = [
     "NETWORK_SPECS",
     "pipeline_config",
     "ExperimentContext",
+    "parallel_map",
+    "run_table1_rows",
 ]

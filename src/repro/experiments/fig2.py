@@ -9,7 +9,7 @@ paper's anchor values for comparison).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.config import NETWORK_SPECS
 from repro.experiments.runner import ExperimentContext
@@ -43,9 +43,10 @@ class Fig2Result:
         }
 
 
-def run(scale: str = "ci", seed: int = 0) -> Fig2Result:
+def run(scale: str = "ci", seed: int = 0, cache_dir=None) -> Fig2Result:
     """Characterize weight power under LeNet-5 traffic (paper setup)."""
-    context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed)
+    context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed,
+                                cache_dir=cache_dir)
     return Fig2Result(table=context.power_table,
                       threshold_uw=PAPER_THRESHOLD_UW)
 
@@ -62,8 +63,11 @@ def format_series(result: Fig2Result, step: int = 8) -> str:
     return "\n".join(lines)
 
 
-def main(scale: str = "ci") -> Fig2Result:
-    result = run(scale)
+def main(scale: str = "ci", jobs: Optional[int] = 1,
+         cache_dir=None) -> Fig2Result:
+    # Single network, single sweep — ``jobs`` is accepted for CLI
+    # uniformity but there is nothing to fan out.
+    result = run(scale, cache_dir=cache_dir)
     print("=== Fig. 2: average power per quantized weight value ===")
     print(format_series(result))
     summary = result.summary()

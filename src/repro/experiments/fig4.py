@@ -8,7 +8,7 @@ transition matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -39,9 +39,10 @@ class Fig4Result:
         }
 
 
-def run(scale: str = "ci", seed: int = 0) -> Fig4Result:
+def run(scale: str = "ci", seed: int = 0, cache_dir=None) -> Fig4Result:
     """Measure both Fig. 4 distributions from LeNet-5 traffic."""
-    context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed)
+    context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed,
+                                cache_dir=cache_dir)
     stats = context.stats
     return Fig4Result(
         activation=stats.activation_distribution(),
@@ -71,8 +72,11 @@ def format_heatmap(matrix: np.ndarray, cells: int = 16,
     return "\n".join(lines)
 
 
-def main(scale: str = "ci") -> Fig4Result:
-    result = run(scale)
+def main(scale: str = "ci", jobs: Optional[int] = 1,
+         cache_dir=None) -> Fig4Result:
+    # Single network, single measurement — ``jobs`` is accepted for CLI
+    # uniformity but there is nothing to fan out.
+    result = run(scale, cache_dir=cache_dir)
     print("=== Fig. 4: operand transition distributions ===")
     print(format_heatmap(result.activation.matrix,
                          label="(a) activation transitions "

@@ -8,14 +8,10 @@ accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.pipeline import PowerPruner
-from repro.experiments.config import (
-    NETWORK_SPECS,
-    NetworkSpec,
-    pipeline_config,
-)
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.parallel import run_table1_rows
 from repro.power.estimator import PowerBreakdown
 
 
@@ -43,13 +39,18 @@ class Fig7Result:
 
 
 def run(scale: str = "ci",
-        specs: Sequence[NetworkSpec] = NETWORK_SPECS) -> Fig7Result:
-    """Run the pipeline per network and extract the three stages."""
+        specs: Sequence[NetworkSpec] = NETWORK_SPECS,
+        jobs: Optional[int] = 1, cache_dir=None) -> Fig7Result:
+    """Run the stage-graph pipeline per network, extract the stages.
+
+    With a shared ``cache_dir`` this reuses any Table I run's
+    artifacts wholesale; ``jobs`` fans the networks out across
+    processes.
+    """
+    reports = run_table1_rows(specs, scale=scale, jobs=jobs,
+                              cache_dir=cache_dir)
     bars: Dict[str, List[Fig7Bar]] = {}
-    for spec in specs:
-        config = pipeline_config(spec, scale)
-        pruner = PowerPruner(config)
-        report = pruner.run()
+    for spec, report in zip(specs, reports):
         pruned = report.extras["pruned"]
         bars[spec.label] = [
             Fig7Bar("Baseline", report.power_opt_orig,
@@ -87,8 +88,9 @@ def format_chart(result: Fig7Result) -> str:
     return "\n".join(lines)
 
 
-def main(scale: str = "ci") -> Fig7Result:
-    result = run(scale)
+def main(scale: str = "ci", jobs: Optional[int] = 1,
+         cache_dir=None) -> Fig7Result:
+    result = run(scale, jobs=jobs, cache_dir=cache_dir)
     print("=== Fig. 7: baseline vs pruned vs proposed ===")
     print(format_chart(result))
     print("paper observation: the proposed method significantly reduces "

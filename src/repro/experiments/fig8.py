@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.parallel import PanelTask, run_spec_panels
 from repro.experiments.runner import ExperimentContext
 from repro.nn.restrict import WeightRestriction
 from repro.power.estimator import PowerBreakdown
@@ -39,42 +40,49 @@ class Fig8Result:
         return [p.accuracy for p in self.points[label]]
 
 
+def _run_panel(task: PanelTask) -> List[Fig8Point]:
+    context = ExperimentContext(task.spec, task.scale, seed=task.seed,
+                                cache_dir=task.cache_dir)
+    table = context.power_table
+    series: List[Fig8Point] = []
+    for threshold in task.thresholds:
+        model = context.reset_model()
+        if threshold is None:
+            allowed = table.weights.copy()
+            accuracy = context.accuracy_pruned
+        else:
+            allowed = table.select_below(threshold)
+            if allowed.size < 2:
+                continue
+            model.set_weight_restriction(
+                WeightRestriction(allowed))
+            accuracy = context.retrain(model)
+        __, power_opt = context.measure_power(model)
+        series.append(Fig8Point(
+            threshold_uw=threshold,
+            n_weights=int(allowed.size),
+            accuracy=accuracy,
+            power_opt=power_opt,
+        ))
+    return series
+
+
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
         thresholds: Sequence[Optional[float]] = (None, 900.0, 850.0,
                                                  825.0, 800.0),
-        seed: int = 0) -> Fig8Result:
+        seed: int = 0, jobs: Optional[int] = 1,
+        cache_dir=None) -> Fig8Result:
     """Sweep the power threshold for each spec.
 
     Defaults to LeNet-5 only at CI scale; pass ``specs=NETWORK_SPECS``
-    for all four panels.
+    for all four panels.  Panels are independent — ``jobs`` fans them
+    out across processes and ``cache_dir`` shares the stage-graph
+    artifact cache (e.g. a previous Table I run's training prefix).
     """
-    points: Dict[str, List[Fig8Point]] = {}
-    for spec in specs:
-        context = ExperimentContext(spec, scale, seed=seed)
-        table = context.power_table
-        series: List[Fig8Point] = []
-        for threshold in thresholds:
-            model = context.reset_model()
-            if threshold is None:
-                allowed = table.weights.copy()
-                accuracy = context.accuracy_pruned
-            else:
-                allowed = table.select_below(threshold)
-                if allowed.size < 2:
-                    continue
-                model.set_weight_restriction(
-                    WeightRestriction(allowed))
-                accuracy = context.retrain(model)
-            __, power_opt = context.measure_power(model)
-            series.append(Fig8Point(
-                threshold_uw=threshold,
-                n_weights=int(allowed.size),
-                accuracy=accuracy,
-                power_opt=power_opt,
-            ))
-        points[spec.label] = series
-    return Fig8Result(points=points)
+    return Fig8Result(points=run_spec_panels(
+        _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
+        cache_dir=cache_dir))
 
 
 def format_series(result: Fig8Result) -> str:
@@ -100,9 +108,10 @@ def format_series(result: Fig8Result) -> str:
     return "\n".join(lines)
 
 
-def main(scale: str = "ci", all_networks: bool = False) -> Fig8Result:
+def main(scale: str = "ci", all_networks: bool = False,
+         jobs: Optional[int] = 1, cache_dir=None) -> Fig8Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs)
+    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir)
     print("=== Fig. 8: power threshold vs accuracy tradeoff ===")
     print(format_series(result))
     return result

@@ -9,9 +9,10 @@ and records the number of surviving activation values and the accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.parallel import PanelTask, run_spec_panels
 from repro.experiments.runner import ExperimentContext
 from repro.nn.restrict import ActivationFilter, WeightRestriction
 from repro.timing.selection import DelaySelector
@@ -47,40 +48,49 @@ def _weight_threshold_for(spec: NetworkSpec, scale: str) -> float:
     return 825.0
 
 
+def _run_panel(task: PanelTask) -> List[Fig9Point]:
+    context = ExperimentContext(task.spec, task.scale, seed=task.seed,
+                                cache_dir=task.cache_dir)
+    power_table = context.power_table
+    candidates = power_table.select_below(
+        _weight_threshold_for(task.spec, task.scale))
+    timing_table = context.timing_table(candidates)
+    selector = DelaySelector(timing_table,
+                             n_restarts=context.config.n_restarts)
+    series: List[Fig9Point] = []
+    for threshold in sorted(task.thresholds, reverse=True):
+        selection = selector.select(
+            threshold, candidate_weights=candidates, seed=task.seed)
+        if selection.n_weights < 2:
+            continue
+        model = context.reset_model()
+        model.set_weight_restriction(
+            WeightRestriction(selection.weights))
+        model.set_activation_filter(
+            ActivationFilter(selection.activations))
+        accuracy = context.retrain(model)
+        series.append(Fig9Point(
+            threshold_ps=threshold,
+            n_weights=selection.n_weights,
+            n_activations=selection.n_activations,
+            accuracy=accuracy,
+        ))
+    return series
+
+
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
         thresholds: Sequence[float] = (180.0, 170.0, 160.0, 150.0, 140.0),
-        seed: int = 0) -> Fig9Result:
-    """Sweep the delay threshold per spec at its fixed power threshold."""
-    points: Dict[str, List[Fig9Point]] = {}
-    for spec in specs:
-        context = ExperimentContext(spec, scale, seed=seed)
-        power_table = context.power_table
-        candidates = power_table.select_below(
-            _weight_threshold_for(spec, scale))
-        timing_table = context.timing_table(candidates)
-        selector = DelaySelector(timing_table,
-                                 n_restarts=context.config.n_restarts)
-        series: List[Fig9Point] = []
-        for threshold in sorted(thresholds, reverse=True):
-            selection = selector.select(
-                threshold, candidate_weights=candidates, seed=seed)
-            if selection.n_weights < 2:
-                continue
-            model = context.reset_model()
-            model.set_weight_restriction(
-                WeightRestriction(selection.weights))
-            model.set_activation_filter(
-                ActivationFilter(selection.activations))
-            accuracy = context.retrain(model)
-            series.append(Fig9Point(
-                threshold_ps=threshold,
-                n_weights=selection.n_weights,
-                n_activations=selection.n_activations,
-                accuracy=accuracy,
-            ))
-        points[spec.label] = series
-    return Fig9Result(points=points)
+        seed: int = 0, jobs: Optional[int] = 1,
+        cache_dir=None) -> Fig9Result:
+    """Sweep the delay threshold per spec at its fixed power threshold.
+
+    Panels are independent — ``jobs`` fans them out across processes
+    and ``cache_dir`` shares the stage-graph artifact cache.
+    """
+    return Fig9Result(points=run_spec_panels(
+        _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
+        cache_dir=cache_dir))
 
 
 def format_series(result: Fig9Result) -> str:
@@ -100,9 +110,10 @@ def format_series(result: Fig9Result) -> str:
     return "\n".join(lines)
 
 
-def main(scale: str = "ci", all_networks: bool = False) -> Fig9Result:
+def main(scale: str = "ci", all_networks: bool = False,
+         jobs: Optional[int] = 1, cache_dir=None) -> Fig9Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs)
+    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir)
     print("=== Fig. 9: delay threshold vs accuracy tradeoff ===")
     print(format_series(result))
     return result

@@ -1,0 +1,111 @@
+"""Process-parallel execution of independent experiment units.
+
+Table I rows and the per-network panels of the figure sweeps are
+independent of each other, so they can run in separate processes.  Each
+worker rebuilds its own :class:`~repro.experiments.runner.ExperimentContext`;
+pointing every worker at the same ``cache_dir`` makes them share the
+content-addressed artifact cache on disk, so a re-run (or a figure
+riding on a Table I run) pays only for stages nobody computed yet.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
+    TypeVar
+
+from repro.core.report import PowerPruningReport
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["default_jobs", "parallel_map", "RowTask", "run_table1_rows",
+           "PanelTask", "run_spec_panels"]
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs 0`` asks for "all cores"."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 jobs: Optional[int] = None) -> List[R]:
+    """``[fn(item) for item in items]`` across processes, order kept.
+
+    Args:
+        fn: A module-level (picklable) callable.
+        items: Picklable work items.
+        jobs: Process count; ``None``/``0`` uses every core, ``1`` (or a
+            single item) runs inline without spawning workers.
+    """
+    items = list(items)
+    if jobs is None or jobs == 0:
+        jobs = default_jobs()
+    jobs = max(1, min(jobs, len(items)))
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass(frozen=True)
+class RowTask:
+    """One Table I row's worth of work, picklable for worker dispatch."""
+
+    spec: NetworkSpec
+    scale: str = "ci"
+    seed: int = 0
+    cache_dir: Optional[str] = None
+    verbose: bool = False
+
+
+def _run_row(task: RowTask) -> PowerPruningReport:
+    from repro.experiments.runner import ExperimentContext
+
+    context = ExperimentContext(task.spec, task.scale, seed=task.seed,
+                                verbose=task.verbose,
+                                cache_dir=task.cache_dir)
+    return context.report()
+
+
+def run_table1_rows(specs: Sequence[NetworkSpec] = NETWORK_SPECS,
+                    scale: str = "ci", seed: int = 0,
+                    jobs: Optional[int] = 1,
+                    cache_dir=None,
+                    verbose: bool = False) -> List[PowerPruningReport]:
+    """Full-pipeline reports for ``specs``, optionally across processes."""
+    cache = str(cache_dir) if cache_dir is not None else None
+    tasks = [RowTask(spec, scale, seed, cache, verbose) for spec in specs]
+    return parallel_map(_run_row, tasks, jobs=jobs)
+
+
+@dataclass(frozen=True)
+class PanelTask:
+    """One network's sweep panel, picklable for worker dispatch."""
+
+    spec: NetworkSpec
+    scale: str
+    thresholds: Tuple
+    seed: int
+    cache_dir: Optional[str]
+
+
+def run_spec_panels(panel_fn: Callable[[PanelTask], R],
+                    specs: Sequence[NetworkSpec],
+                    scale: str, thresholds: Sequence,
+                    seed: int = 0, jobs: Optional[int] = 1,
+                    cache_dir=None) -> Dict[str, R]:
+    """Per-network panels keyed by spec label, optionally across
+    processes.
+
+    ``panel_fn`` must be a module-level callable taking a
+    :class:`PanelTask`; figure modules supply the per-threshold sweep.
+    """
+    cache = str(cache_dir) if cache_dir is not None else None
+    tasks = [PanelTask(spec, scale, tuple(thresholds), seed, cache)
+             for spec in specs]
+    panels = parallel_map(panel_fn, tasks, jobs=jobs)
+    return {spec.label: panel for spec, panel in zip(specs, panels)}

@@ -1,19 +1,31 @@
-"""Shared experiment context with lazy, cached stages.
+"""Shared experiment context on top of the pipeline stage graph.
 
 Several figures reuse the same expensive prefix (train the baseline,
-collect operand statistics, characterize weight power).  The context
-builds each stage once per (network, scale) and lets individual
-experiments branch off with their own sweeps.
+collect operand statistics, characterize weight power).  The context is
+a thin view over :class:`repro.core.stages.StageRunner`: every stage is
+computed once per (network, scale, seed) through the content-addressed
+artifact store — in memory always, and on disk when ``cache_dir`` is
+given, so figure sweeps, Table I rows and worker processes all share
+the same artifacts.
+
+Unification note: the pre-stage-graph context re-implemented the
+training prefix with two deliberate-looking but divergent choices —
+operand statistics were collected from the *pruned* model (the
+pipeline uses the baseline, per Sec. III-C's step order) and the
+baseline trainer ignored ``lr_decay_epochs``.  Both now follow the
+pipeline's single implementation, so figure-experiment numbers shifted
+slightly at fixed seeds; the paper-anchored calibrations and all
+qualitative claims are unaffected (see tests).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
+from repro.core.artifacts import ArtifactStore, hash_key
 from repro.core.pipeline import PipelineConfig, PowerPruner
-from repro.core.pruning import magnitude_prune
+from repro.core.report import PowerPruningReport
 from repro.experiments.config import NetworkSpec, pipeline_config
-from repro.nn import Trainer, TrainingConfig
 from repro.nn.layers import Module
 from repro.power.characterization import WeightPowerTable
 from repro.systolic import TransitionStatsCollector
@@ -21,106 +33,111 @@ from repro.timing.profile import WeightTimingTable
 
 
 class ExperimentContext:
-    """Lazy pipeline stages for one network/dataset at one scale."""
+    """Cached pipeline stages for one network/dataset at one scale.
+
+    Args:
+        spec: The network/dataset pair.
+        scale: Experiment scale (``smoke``/``ci``/``paper``).
+        seed: Seed threaded through every stage.
+        verbose: Log stage execution.
+        cache_dir: Optional on-disk artifact cache shared across
+            contexts, runs and processes.
+        store: An existing :class:`ArtifactStore` to share in-process;
+            overrides ``cache_dir``.
+    """
 
     def __init__(self, spec: NetworkSpec, scale: str = "ci",
-                 seed: int = 0, verbose: bool = False) -> None:
+                 seed: int = 0, verbose: bool = False,
+                 cache_dir=None,
+                 store: Optional[ArtifactStore] = None) -> None:
         self.spec = spec
         self.scale = scale
         self.config: PipelineConfig = pipeline_config(
             spec, scale, seed=seed, verbose=verbose)
-        self.pruner = PowerPruner(self.config)
-        self._dataset = None
+        self.pruner = PowerPruner(self.config, cache_dir=cache_dir,
+                                  store=store)
+        self.runner = self.pruner.runner()
         self._model: Optional[Module] = None
-        self._accuracy_orig: Optional[float] = None
-        self._accuracy_pruned: Optional[float] = None
-        self._pruned_state: Optional[dict] = None
-        self._stats: Optional[TransitionStatsCollector] = None
-        self._power_table: Optional[WeightPowerTable] = None
-        self._timing_tables: Dict[tuple, WeightTimingTable] = {}
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.runner.store
 
     # ------------------------------------------------------------------
     # cached stages
     # ------------------------------------------------------------------
     @property
     def dataset(self):
-        if self._dataset is None:
-            self._dataset = self.pruner._build_dataset()
-        return self._dataset
+        return self.runner.get("dataset")
 
     @property
     def model(self) -> Module:
         """Baseline-trained, conventionally pruned, retrained model."""
         if self._model is None:
-            from repro.models import build_model
-            from repro.nn.layers import seed_init
-
-            config = self.config
-            seed_init(config.seed)
-            model = build_model(
-                config.network, num_classes=config.num_classes,
-                width_mult=config.width_mult,
-                depth_mult=config.depth_mult)
-            trainer = Trainer(model, TrainingConfig(
-                epochs=config.baseline_epochs,
-                batch_size=config.batch_size, lr=config.lr,
-                seed=config.seed))
-            dataset = self.dataset
-            trainer.fit(dataset.x_train, dataset.y_train)
-            self._accuracy_orig = trainer.evaluate(
-                dataset.x_test, dataset.y_test)
-            magnitude_prune(model, config.prune_fraction)
-            self._accuracy_pruned = self.retrain(model)
-            self._pruned_state = model.state_dict()
-            self._model = model
+            self._model = self.runner.ops.model_from_state(
+                self.runner.get("pruned")["state"])
         return self._model
 
     @property
     def accuracy_orig(self) -> float:
-        self.model
-        return self._accuracy_orig
+        return self.runner.get("baseline")["accuracy"]
 
     @property
     def accuracy_pruned(self) -> float:
-        self.model
-        return self._accuracy_pruned
+        return self.runner.get("pruned")["accuracy"]
 
     def reset_model(self) -> Module:
         """Restore the model to its pruned-baseline state."""
         model = self.model
-        model.load_state_dict(self._pruned_state)
+        model.load_state_dict(self.runner.get("pruned")["state"])
         model.set_weight_restriction(None)
         model.set_activation_filter(None)
         return model
 
     @property
     def stats(self) -> TransitionStatsCollector:
-        if self._stats is None:
-            self._stats = self.pruner.collect_statistics(
-                self.model, self.dataset)
-        return self._stats
+        return self.runner.get("operand_stats")
 
     @property
     def power_table(self) -> WeightPowerTable:
-        if self._power_table is None:
-            self._power_table = self.pruner.characterize_power(self.stats)
-        return self._power_table
+        return self.runner.get("power_table")
 
     def timing_table(self, candidate_weights) -> WeightTimingTable:
-        key = tuple(sorted(int(w) for w in candidate_weights))
-        if key not in self._timing_tables:
-            self._timing_tables[key] = self.pruner.characterize_timing(
-                list(key))
-        return self._timing_tables[key]
+        """Timing table for an arbitrary candidate set.
+
+        Sweeps probe candidate sets that differ from the pipeline's own
+        power selection, so this is keyed directly on the candidates
+        (plus the timing config fields) in the same artifact store.
+        """
+        candidates = tuple(sorted(int(w) for w in candidate_weights))
+        config = self.config
+        key = hash_key({
+            "stage": "timing_table/candidates",
+            "version": "1",
+            "config": {
+                "timing_transitions": config.timing_transitions,
+                "timing_floor_ps": config.timing_floor_ps,
+                "seed": config.seed,
+            },
+            "candidates": candidates,
+        })
+        return self.store.get_or_compute(
+            key,
+            lambda: self.runner.ops.characterize_timing(list(candidates)),
+        )
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
     def retrain(self, model: Module) -> float:
         """Retrain in place, return test accuracy."""
-        return self.pruner._retrain_fn(self.dataset)(model)
+        return self.runner.ops.retrain_fn(self.dataset)(model)
 
     def measure_power(self, model: Module, vdd: Optional[float] = None):
         """(Standard HW, Optimized HW) power of ``model``."""
-        return self.pruner.measure_power(model, self.dataset,
-                                         self.power_table, vdd=vdd)
+        return self.runner.ops.measure_power(model, self.dataset,
+                                             self.power_table, vdd=vdd)
+
+    def report(self) -> PowerPruningReport:
+        """The full pipeline's Table I report (cached end to end)."""
+        return self.pruner.run()

@@ -6,15 +6,11 @@ and prints our Table I next to the paper's published row values.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.pipeline import PowerPruner
 from repro.core.report import PowerPruningReport, format_table1
-from repro.experiments.config import (
-    NETWORK_SPECS,
-    NetworkSpec,
-    pipeline_config,
-)
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.parallel import run_table1_rows
 
 #: The paper's Table I, for side-by-side reporting.
 PAPER_TABLE1: Dict[str, Dict[str, object]] = {
@@ -51,13 +47,16 @@ PAPER_TABLE1: Dict[str, Dict[str, object]] = {
 
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS,
-        verbose: bool = False) -> List[PowerPruningReport]:
-    """Run the full pipeline for every spec; returns the reports."""
-    reports = []
-    for spec in specs:
-        config = pipeline_config(spec, scale, verbose=verbose)
-        reports.append(PowerPruner(config).run())
-    return reports
+        verbose: bool = False, jobs: Optional[int] = 1,
+        cache_dir=None) -> List[PowerPruningReport]:
+    """Run the full pipeline for every spec; returns the reports.
+
+    Rows are independent: ``jobs`` fans them out across processes
+    (``0`` = all cores), and ``cache_dir`` shares the stage-graph
+    artifact cache between rows, runs and workers.
+    """
+    return run_table1_rows(specs, scale=scale, jobs=jobs,
+                           cache_dir=cache_dir, verbose=verbose)
 
 
 def format_with_reference(reports: List[PowerPruningReport]) -> str:
@@ -80,8 +79,9 @@ def format_with_reference(reports: List[PowerPruningReport]) -> str:
     return "\n".join(lines)
 
 
-def main(scale: str = "ci") -> List[PowerPruningReport]:
-    reports = run(scale)
+def main(scale: str = "ci", jobs: Optional[int] = 1,
+         cache_dir=None) -> List[PowerPruningReport]:
+    reports = run(scale, jobs=jobs, cache_dir=cache_dir)
     print(format_with_reference(reports))
     return reports
 

@@ -8,7 +8,7 @@ pass over ~1000 gates rather than 65536 separate simulations.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -53,7 +53,7 @@ def _resolve_packed(netlist: Union[Netlist, PackedNetlist]) -> PackedNetlist:
 
 def evaluate(netlist: Union[Netlist, PackedNetlist],
              inputs: Mapping[str, ArrayLike],
-             batch: int = None) -> np.ndarray:
+             batch: Optional[int] = None) -> np.ndarray:
     """Evaluate every net of ``netlist`` for a batch of input patterns.
 
     Args:
@@ -124,8 +124,12 @@ def evaluate(netlist: Union[Netlist, PackedNetlist],
                            out=values[net])
             np.logical_not(values[net], out=values[net])
         elif gtype == GateType.MUX2:
-            values[net] = np.where(values[f0[net]], values[f2[net]],
-                                   values[f1[net]])
+            # Write through the preallocated row instead of allocating a
+            # fresh np.where result: default to fanin1, overwrite the
+            # selected samples with fanin2.
+            out = values[net]
+            np.copyto(out, values[f1[net]])
+            np.copyto(out, values[f2[net]], where=values[f0[net]])
         else:  # pragma: no cover - enum is exhaustive
             raise AssertionError(f"unhandled gate type {gtype}")
     return values
