@@ -30,6 +30,13 @@ from repro.core import (
     scale_voltage,
 )
 from repro.cells import CellLibrary, VoltageModel, default_library
+from repro.hw import (
+    DEFAULT_BACKEND_ID,
+    HardwareBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.netlist import MacUnit, build_mac_unit
 from repro.power import (
     PartialSumBinner,
@@ -66,6 +73,11 @@ __all__ = [
     "CellLibrary",
     "VoltageModel",
     "default_library",
+    "HardwareBackend",
+    "DEFAULT_BACKEND_ID",
+    "register_backend",
+    "get_backend",
+    "list_backends",
     "MacUnit",
     "build_mac_unit",
     "TransitionDistribution",

@@ -5,14 +5,22 @@ Usage::
     python -m repro table1 [--scale ci] [--jobs 4] [--cache-dir .cache]
     python -m repro fig2 [--scale smoke]
     python -m repro fig7 --scale ci --jobs 0 --cache-dir .repro-cache
+    python -m repro table1 --backend nangate15-array
+    python -m repro backends --scale smoke --jobs 2
+    python -m repro --list-backends
     ...
 
 ``--jobs`` fans independent units (Table I rows, figure panels) out
-across processes (``0`` = all cores).  ``--cache-dir`` turns on the
-on-disk content-addressed artifact cache: every stage of the pipeline
-graph (training, characterization, selection, ...) is stored under a
-key derived from the config, so repeated runs — and different
-experiments sharing a prefix — skip all unchanged work.
+across processes (``0`` = all cores); experiments with a single unit of
+work spend it sharding the per-weight characterization stage instead.
+``--cache-dir`` turns on the on-disk content-addressed artifact cache:
+every stage of the pipeline graph (training, characterization,
+selection, ...) is stored under a key derived from the config *and the
+hardware backend*, so repeated runs — and different experiments or
+backends sharing a prefix — skip all unchanged work without ever
+colliding.  ``--backend`` selects the hardware backend (see
+``--list-backends``); the ``backends`` experiment runs the Table I flow
+on several backends and compares them side by side.
 """
 
 from __future__ import annotations
@@ -20,7 +28,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import fig2, fig3, fig4, fig7, fig8, fig9, table1
+from repro.experiments import (
+    backends,
+    fig2,
+    fig3,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+)
+from repro.hw import DEFAULT_BACKEND_ID, describe_backends, get_backend
 
 EXPERIMENTS = {
     "table1": table1.main,
@@ -30,6 +48,7 @@ EXPERIMENTS = {
     "fig7": fig7.main,
     "fig8": fig8.main,
     "fig9": fig9.main,
+    "backends": backends.main,
 }
 
 
@@ -39,20 +58,49 @@ def main(argv=None) -> int:
         description="Regenerate a table/figure of the PowerPruning "
                     "paper (DAC 2023)",
     )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
-                        help="which table/figure to regenerate")
+    parser.add_argument("experiment", nargs="?",
+                        choices=sorted(EXPERIMENTS),
+                        help="which table/figure to regenerate "
+                             "('backends' compares hardware backends)")
     parser.add_argument("--scale", default="ci",
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="processes for independent rows/panels "
+                        help="processes for independent rows/panels, or "
+                             "for sharding single-unit characterization "
                              "(0 = all cores; default: 1)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="on-disk artifact cache shared across runs "
-                             "and workers (default: memory-only)")
+                        help="on-disk artifact cache shared across runs, "
+                             "workers and backends (default: memory-only)")
+    parser.add_argument("--backend", default=None, metavar="ID",
+                        help="hardware backend to characterize against "
+                             f"(default: {DEFAULT_BACKEND_ID}; see "
+                             "--list-backends); for the 'backends' "
+                             "experiment, compare the default against "
+                             "this one instead of all registered")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list registered hardware backends and exit")
     args = parser.parse_args(argv)
+
+    if args.list_backends:
+        print(describe_backends())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required "
+                     "(or use --list-backends)")
+    if args.backend is not None:
+        try:
+            get_backend(args.backend)
+        except ValueError as error:
+            parser.error(str(error))
+
+    if args.experiment == "backends":
+        backend = args.backend  # None = compare all registered
+    else:
+        backend = args.backend or DEFAULT_BACKEND_ID
     EXPERIMENTS[args.experiment](scale=args.scale, jobs=args.jobs,
-                                 cache_dir=args.cache_dir)
+                                 cache_dir=args.cache_dir,
+                                 backend=backend)
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.core.stages import (
     StageRunner,
     build_power_pruning_graph,
 )
+from repro.hw import DEFAULT_BACKEND_ID
 
 #: Weight values referenced throughout the paper's figures; always
 #: characterized regardless of the CI-scale stride.
@@ -52,6 +53,14 @@ class PipelineConfig:
 
     network: str = "lenet5"
     dataset: str = "cifar10"
+    #: Hardware backend id (see :mod:`repro.hw`); participates in every
+    #: stage cache key, so artifacts from different backends can never
+    #: collide in a shared store.
+    backend: str = DEFAULT_BACKEND_ID
+    #: Processes to shard per-weight characterization over (0 = all
+    #: cores).  Sharding is bit-for-bit equal to a serial run, so this
+    #: knob is deliberately absent from all stage cache keys.
+    char_jobs: int = 1
     num_classes: int = 10
     width_mult: float = 0.5          # paper: 1.0
     depth_mult: float = 1.0

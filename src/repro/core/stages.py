@@ -60,6 +60,7 @@ __all__ = [
     "StageGraph",
     "StageRunner",
     "PipelineOps",
+    "backend_key_payload",
     "build_power_pruning_graph",
     "POWER_PRUNING_STAGES",
 ]
@@ -69,6 +70,19 @@ __all__ = [
 # generic machinery
 # ----------------------------------------------------------------------
 StageFn = Callable[["PipelineOps", Dict[str, Any]], Any]
+
+
+def backend_key_payload(config: "PipelineConfig") -> Dict[str, Any]:
+    """The hardware-backend contribution to a stage cache key.
+
+    Hashes the backend's full resolved spec (id plus every parameter),
+    so re-registering an id with different hardware also invalidates
+    the old artifacts.
+    """
+    from repro.hw import DEFAULT_BACKEND_ID, get_backend
+
+    backend_id = getattr(config, "backend", DEFAULT_BACKEND_ID)
+    return get_backend(backend_id).key_payload()
 
 
 @dataclass(frozen=True)
@@ -132,7 +146,18 @@ class StageGraph:
 
     def key(self, name: str, config: "PipelineConfig",
             _memo: Optional[Dict[str, str]] = None) -> str:
-        """Content-addressed artifact key of ``name`` under ``config``."""
+        """Content-addressed artifact key of ``name`` under ``config``.
+
+        The hardware backend's full spec participates in *every* stage
+        key unconditionally — not just in stages that read hardware —
+        so artifacts produced under different backends can never
+        collide in a shared store, by construction.  The deliberate
+        cost is that hardware-independent prefixes (dataset, baseline
+        training) are not shared across backends: correctness of a
+        shared cache is guaranteed by key derivation alone, with no
+        per-stage judgement calls about what "reads hardware" to drift
+        out of date as stages evolve.
+        """
         memo = _memo if _memo is not None else {}
         if name in memo:
             return memo[name]
@@ -140,6 +165,7 @@ class StageGraph:
         payload = {
             "stage": stage.name,
             "version": stage.version,
+            "backend": backend_key_payload(config),
             "config": {f: getattr(config, f) for f in stage.fields},
             "deps": {d: self.key(d, config, memo) for d in stage.deps},
         }
@@ -197,25 +223,29 @@ class PipelineOps:
     """Stateless-ish backend the stage functions run against.
 
     Owns the configuration plus the shared hardware models (cell
-    library, MAC netlist, systolic/voltage models) and provides the
-    operations stages compose.  All randomness is seeded from the
-    config, so every operation is a pure function of its arguments.
+    library, MAC netlist, systolic/voltage models), all resolved from
+    the config's hardware backend (see :mod:`repro.hw`) unless passed
+    explicitly, and provides the operations stages compose.  All
+    randomness is seeded from the config, so every operation is a pure
+    function of its arguments.
     """
 
     def __init__(self, config: "PipelineConfig", library=None, mac=None,
                  systolic_config=None, voltage_model=None) -> None:
-        from repro.cells import default_library
-        from repro.cells.voltage import VoltageModel
-        from repro.netlist import build_mac_unit
-        from repro.systolic import SystolicConfig
+        from repro.hw import DEFAULT_BACKEND_ID, get_backend
 
         self.config = config
-        self.library = library if library is not None else default_library()
-        self.mac = mac if mac is not None else build_mac_unit()
+        backend = get_backend(
+            getattr(config, "backend", DEFAULT_BACKEND_ID))
+        self.backend = backend
+        self.library = (library if library is not None
+                        else backend.build_library())
+        self.mac = mac if mac is not None else backend.build_mac()
         self.systolic_config = (systolic_config if systolic_config
-                                is not None else SystolicConfig())
+                                is not None
+                                else backend.build_systolic_config())
         self.voltage_model = (voltage_model if voltage_model is not None
-                              else VoltageModel())
+                              else backend.build_voltage_model())
 
     def log(self, message: str) -> None:
         if self.config.verbose:
@@ -298,7 +328,13 @@ class PipelineOps:
         return stats
 
     def characterize_power(self, stats):
-        """Per-weight power table from measured operand statistics."""
+        """Per-weight power table from measured operand statistics.
+
+        ``config.char_jobs`` shards the per-weight simulations across
+        processes; per-weight RNG seeding keeps the sharded table
+        bit-for-bit identical to a serial run, which is why
+        ``char_jobs`` takes no part in the stage cache key.
+        """
         from repro.power import WeightPowerCharacterizer
 
         act_dist = stats.activation_distribution()
@@ -308,9 +344,11 @@ class PipelineOps:
             self.mac, self.library, act_dist, binned,
             clock_period_ps=self.systolic_config.clock_period_ps,
             n_samples=self.config.char_samples,
+            calibrate_to_uw=self.backend.power_anchor_uw,
         )
-        return characterizer.characterize(self.config.char_weights(),
-                                          seed=self.config.seed)
+        return characterizer.characterize(
+            self.config.char_weights(), seed=self.config.seed,
+            jobs=getattr(self.config, "char_jobs", 1))
 
     def characterize_timing(self, candidate_weights: Sequence[int]):
         """Per-weight timing table for the power-selected candidates."""
@@ -330,6 +368,7 @@ class PipelineOps:
         return WeightTimingTable.characterize(
             profiler, weights=candidate_weights, transitions=transitions,
             floor_ps=self.config.timing_floor_ps,
+            calibrate_to_ps=self.backend.delay_anchor_ps,
         )
 
     def recharacterize_filtered(self, allowed_activations, stats,
@@ -357,8 +396,9 @@ class PipelineOps:
             n_samples=self.config.char_samples,
             calibrate_to_uw=None,
         )
-        table = characterizer.characterize(self.config.char_weights(),
-                                           seed=self.config.seed)
+        table = characterizer.characterize(
+            self.config.char_weights(), seed=self.config.seed,
+            jobs=getattr(self.config, "char_jobs", 1))
         return WeightPowerTable(
             weights=table.weights,
             power_uw=table.dynamic_uw * base_table.energy_scale
@@ -619,6 +659,8 @@ def build_power_pruning_graph() -> StageGraph:
     graph.add(Stage(
         "power_table", _stage_power_table, deps=("operand_stats",),
         fields=("char_weight_step", "char_samples", "seed"),
+        # v2: per-weight child RNG seeding (order/shard independent).
+        version="2",
     ))
     graph.add(Stage(
         "power_selection", _stage_power_selection,

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.pipeline import PipelineConfig
+from repro.hw import DEFAULT_BACKEND_ID, resolve_backend_id
 
 
 @dataclass(frozen=True)
@@ -99,14 +100,30 @@ NETWORK_TRAINING = {
 
 
 def pipeline_config(spec: NetworkSpec, scale: str = "ci",
-                    seed: int = 0, verbose: bool = False
-                    ) -> PipelineConfig:
-    """PipelineConfig for one network spec at the requested scale."""
+                    seed: int = 0, verbose: bool = False,
+                    backend: str = DEFAULT_BACKEND_ID,
+                    char_jobs: int = 1) -> PipelineConfig:
+    """PipelineConfig for one network spec at the requested scale.
+
+    Args:
+        spec: The network/dataset pair.
+        scale: Experiment scale (``smoke``/``ci``/``paper``).
+        seed: Seed threaded through every stage.
+        verbose: Log stage execution.
+        backend: Hardware-backend id or :class:`~repro.hw.HardwareBackend`
+            spec (specs are registered on the fly, which keeps
+            user-defined backends working inside spawn-started worker
+            processes).
+        char_jobs: Processes to shard per-weight characterization over
+            (bit-for-bit identical to serial; not part of cache keys).
+    """
     s = get_scale(scale)
     training = NETWORK_TRAINING.get(spec.network, {})
     return PipelineConfig(
         lr=training.get("lr", 0.05),
         lr_decay_epochs=training.get("lr_decay_epochs", ()),
+        backend=resolve_backend_id(backend),
+        char_jobs=char_jobs,
         network=spec.network,
         dataset=spec.dataset,
         num_classes=spec.num_classes,

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.experiments.config import NETWORK_SPECS
 from repro.experiments.runner import ExperimentContext
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.power.characterization import WeightPowerTable
 
 #: Fig. 2 anchors from the paper's text.
@@ -43,10 +44,17 @@ class Fig2Result:
         }
 
 
-def run(scale: str = "ci", seed: int = 0, cache_dir=None) -> Fig2Result:
-    """Characterize weight power under LeNet-5 traffic (paper setup)."""
+def run(scale: str = "ci", seed: int = 0, cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID,
+        jobs: Optional[int] = 1) -> Fig2Result:
+    """Characterize weight power under LeNet-5 traffic (paper setup).
+
+    ``jobs`` shards the per-weight characterization itself across
+    processes (bit-for-bit identical to a serial run).
+    """
     context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed,
-                                cache_dir=cache_dir)
+                                cache_dir=cache_dir, backend=backend,
+                                char_jobs=1 if jobs is None else jobs)
     return Fig2Result(table=context.power_table,
                       threshold_uw=PAPER_THRESHOLD_UW)
 
@@ -64,10 +72,10 @@ def format_series(result: Fig2Result, step: int = 8) -> str:
 
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
-         cache_dir=None) -> Fig2Result:
-    # Single network, single sweep — ``jobs`` is accepted for CLI
-    # uniformity but there is nothing to fan out.
-    result = run(scale, cache_dir=cache_dir)
+         cache_dir=None, backend: str = DEFAULT_BACKEND_ID) -> Fig2Result:
+    # Single network, single sweep — ``jobs`` shards the per-weight
+    # characterization stage itself.
+    result = run(scale, cache_dir=cache_dir, backend=backend, jobs=jobs)
     print("=== Fig. 2: average power per quantized weight value ===")
     print(format_series(result))
     summary = result.summary()

@@ -12,9 +12,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.cells import default_library
 from repro.core.artifacts import ArtifactStore, hash_key
-from repro.netlist import build_mac_unit
+from repro.hw import DEFAULT_BACKEND_ID, get_backend
 from repro.timing import WeightDelayProfiler
 from repro.timing.profile import (
     ANCHOR_MAX_DELAY_PS,
@@ -39,7 +38,8 @@ class Fig3Result:
 
 
 def run(scale: str = "ci", weights: Tuple[int, ...] = (-105, 64),
-        seed: int = 0, cache_dir=None) -> Fig3Result:
+        seed: int = 0, cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> Fig3Result:
     """Profile the example weights over activation transitions.
 
     At ``paper`` scale all 2^16 transitions are enumerated; smaller
@@ -47,8 +47,9 @@ def run(scale: str = "ci", weights: Tuple[int, ...] = (-105, 64),
     artifact store, so a ``cache_dir`` makes re-runs (and the ``paper``
     scale's full enumeration) instant.
     """
-    mac = build_mac_unit()
-    library = default_library()
+    spec = get_backend(backend)
+    mac = spec.build_mac()
+    library = spec.build_library()
     profiler = WeightDelayProfiler(mac, library)
     store = ArtifactStore(cache_dir)
 
@@ -64,6 +65,7 @@ def run(scale: str = "ci", weights: Tuple[int, ...] = (-105, 64),
     def profile(weight: int) -> DelayProfile:
         key = hash_key({
             "stage": "fig3/delay_profile", "version": "1",
+            "backend": spec.key_payload(),
             "weight": weight, "n_transitions": n_transitions,
             "seed": seed,
         })
@@ -99,10 +101,10 @@ def format_histogram(profile: DelayProfile, time_scale: float,
 
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
-         cache_dir=None) -> Fig3Result:
+         cache_dir=None, backend: str = DEFAULT_BACKEND_ID) -> Fig3Result:
     # Two weights, one profiler — ``jobs`` is accepted for CLI
     # uniformity but there is nothing worth forking for.
-    result = run(scale, cache_dir=cache_dir)
+    result = run(scale, cache_dir=cache_dir, backend=backend)
     print("=== Fig. 3: MAC delay profiles per weight value ===")
     for weight, profile in result.profiles.items():
         print(format_histogram(profile, result.time_scale))

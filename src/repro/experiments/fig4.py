@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.experiments.config import NETWORK_SPECS
 from repro.experiments.runner import ExperimentContext
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.power.binning import BinnedTransitions
 from repro.power.transitions import TransitionDistribution
 
@@ -39,10 +40,11 @@ class Fig4Result:
         }
 
 
-def run(scale: str = "ci", seed: int = 0, cache_dir=None) -> Fig4Result:
+def run(scale: str = "ci", seed: int = 0, cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> Fig4Result:
     """Measure both Fig. 4 distributions from LeNet-5 traffic."""
     context = ExperimentContext(NETWORK_SPECS[0], scale, seed=seed,
-                                cache_dir=cache_dir)
+                                cache_dir=cache_dir, backend=backend)
     stats = context.stats
     return Fig4Result(
         activation=stats.activation_distribution(),
@@ -73,10 +75,10 @@ def format_heatmap(matrix: np.ndarray, cells: int = 16,
 
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
-         cache_dir=None) -> Fig4Result:
+         cache_dir=None, backend: str = DEFAULT_BACKEND_ID) -> Fig4Result:
     # Single network, single measurement — ``jobs`` is accepted for CLI
     # uniformity but there is nothing to fan out.
-    result = run(scale, cache_dir=cache_dir)
+    result = run(scale, cache_dir=cache_dir, backend=backend)
     print("=== Fig. 4: operand transition distributions ===")
     print(format_heatmap(result.activation.matrix,
                          label="(a) activation transitions "

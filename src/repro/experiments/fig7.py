@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
 from repro.experiments.parallel import run_table1_rows
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.power.estimator import PowerBreakdown
 
 
@@ -40,7 +41,8 @@ class Fig7Result:
 
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS,
-        jobs: Optional[int] = 1, cache_dir=None) -> Fig7Result:
+        jobs: Optional[int] = 1, cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> Fig7Result:
     """Run the stage-graph pipeline per network, extract the stages.
 
     With a shared ``cache_dir`` this reuses any Table I run's
@@ -48,7 +50,7 @@ def run(scale: str = "ci",
     processes.
     """
     reports = run_table1_rows(specs, scale=scale, jobs=jobs,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, backend=backend)
     bars: Dict[str, List[Fig7Bar]] = {}
     for spec, report in zip(specs, reports):
         pruned = report.extras["pruned"]
@@ -89,8 +91,8 @@ def format_chart(result: Fig7Result) -> str:
 
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
-         cache_dir=None) -> Fig7Result:
-    result = run(scale, jobs=jobs, cache_dir=cache_dir)
+         cache_dir=None, backend: str = DEFAULT_BACKEND_ID) -> Fig7Result:
+    result = run(scale, jobs=jobs, cache_dir=cache_dir, backend=backend)
     print("=== Fig. 7: baseline vs pruned vs proposed ===")
     print(format_chart(result))
     print("paper observation: the proposed method significantly reduces "

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
 from repro.experiments.parallel import PanelTask, run_spec_panels
 from repro.experiments.runner import ExperimentContext
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.nn.restrict import WeightRestriction
 from repro.power.estimator import PowerBreakdown
 
@@ -42,7 +43,8 @@ class Fig8Result:
 
 def _run_panel(task: PanelTask) -> List[Fig8Point]:
     context = ExperimentContext(task.spec, task.scale, seed=task.seed,
-                                cache_dir=task.cache_dir)
+                                cache_dir=task.cache_dir,
+                                backend=task.backend)
     table = context.power_table
     series: List[Fig8Point] = []
     for threshold in task.thresholds:
@@ -72,7 +74,8 @@ def run(scale: str = "ci",
         thresholds: Sequence[Optional[float]] = (None, 900.0, 850.0,
                                                  825.0, 800.0),
         seed: int = 0, jobs: Optional[int] = 1,
-        cache_dir=None) -> Fig8Result:
+        cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> Fig8Result:
     """Sweep the power threshold for each spec.
 
     Defaults to LeNet-5 only at CI scale; pass ``specs=NETWORK_SPECS``
@@ -82,7 +85,7 @@ def run(scale: str = "ci",
     """
     return Fig8Result(points=run_spec_panels(
         _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
-        cache_dir=cache_dir))
+        cache_dir=cache_dir, backend=backend))
 
 
 def format_series(result: Fig8Result) -> str:
@@ -109,9 +112,11 @@ def format_series(result: Fig8Result) -> str:
 
 
 def main(scale: str = "ci", all_networks: bool = False,
-         jobs: Optional[int] = 1, cache_dir=None) -> Fig8Result:
+         jobs: Optional[int] = 1, cache_dir=None,
+         backend: str = DEFAULT_BACKEND_ID) -> Fig8Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir)
+    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir,
+                 backend=backend)
     print("=== Fig. 8: power threshold vs accuracy tradeoff ===")
     print(format_series(result))
     return result

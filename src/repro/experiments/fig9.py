@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
 from repro.experiments.parallel import PanelTask, run_spec_panels
 from repro.experiments.runner import ExperimentContext
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.nn.restrict import ActivationFilter, WeightRestriction
 from repro.timing.selection import DelaySelector
 
@@ -50,7 +51,8 @@ def _weight_threshold_for(spec: NetworkSpec, scale: str) -> float:
 
 def _run_panel(task: PanelTask) -> List[Fig9Point]:
     context = ExperimentContext(task.spec, task.scale, seed=task.seed,
-                                cache_dir=task.cache_dir)
+                                cache_dir=task.cache_dir,
+                                backend=task.backend)
     power_table = context.power_table
     candidates = power_table.select_below(
         _weight_threshold_for(task.spec, task.scale))
@@ -82,7 +84,8 @@ def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
         thresholds: Sequence[float] = (180.0, 170.0, 160.0, 150.0, 140.0),
         seed: int = 0, jobs: Optional[int] = 1,
-        cache_dir=None) -> Fig9Result:
+        cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> Fig9Result:
     """Sweep the delay threshold per spec at its fixed power threshold.
 
     Panels are independent — ``jobs`` fans them out across processes
@@ -90,7 +93,7 @@ def run(scale: str = "ci",
     """
     return Fig9Result(points=run_spec_panels(
         _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
-        cache_dir=cache_dir))
+        cache_dir=cache_dir, backend=backend))
 
 
 def format_series(result: Fig9Result) -> str:
@@ -111,9 +114,11 @@ def format_series(result: Fig9Result) -> str:
 
 
 def main(scale: str = "ci", all_networks: bool = False,
-         jobs: Optional[int] = 1, cache_dir=None) -> Fig9Result:
+         jobs: Optional[int] = 1, cache_dir=None,
+         backend: str = DEFAULT_BACKEND_ID) -> Fig9Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir)
+    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir,
+                 backend=backend)
     print("=== Fig. 9: delay threshold vs accuracy tradeoff ===")
     print(format_series(result))
     return result

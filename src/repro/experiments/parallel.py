@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
 
 from repro.core.report import PowerPruningReport
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.hw import DEFAULT_BACKEND_ID, HardwareBackend, get_backend
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,6 +52,21 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         return list(pool.map(fn, items))
 
 
+def _backend_spec(backend) -> HardwareBackend:
+    """Resolve an id-or-spec to a spec for shipping to workers.
+
+    Tasks carry the full :class:`HardwareBackend` rather than its id:
+    under a spawn start method workers re-import the registry with
+    built-ins only, so a user-registered backend would be unknown
+    there — the spec travels with the task and is re-registered on the
+    worker side (see :func:`repro.hw.resolve_backend_id`).  Unknown
+    ids fail here, in the parent, before any worker is spawned.
+    """
+    if isinstance(backend, HardwareBackend):
+        return backend
+    return get_backend(backend)
+
+
 @dataclass(frozen=True)
 class RowTask:
     """One Table I row's worth of work, picklable for worker dispatch."""
@@ -60,6 +76,7 @@ class RowTask:
     seed: int = 0
     cache_dir: Optional[str] = None
     verbose: bool = False
+    backend: Optional[HardwareBackend] = None
 
 
 def _run_row(task: RowTask) -> PowerPruningReport:
@@ -67,7 +84,8 @@ def _run_row(task: RowTask) -> PowerPruningReport:
 
     context = ExperimentContext(task.spec, task.scale, seed=task.seed,
                                 verbose=task.verbose,
-                                cache_dir=task.cache_dir)
+                                cache_dir=task.cache_dir,
+                                backend=task.backend)
     return context.report()
 
 
@@ -75,10 +93,17 @@ def run_table1_rows(specs: Sequence[NetworkSpec] = NETWORK_SPECS,
                     scale: str = "ci", seed: int = 0,
                     jobs: Optional[int] = 1,
                     cache_dir=None,
-                    verbose: bool = False) -> List[PowerPruningReport]:
-    """Full-pipeline reports for ``specs``, optionally across processes."""
+                    verbose: bool = False,
+                    backend=DEFAULT_BACKEND_ID
+                    ) -> List[PowerPruningReport]:
+    """Full-pipeline reports for ``specs``, optionally across processes.
+
+    ``backend`` accepts a registry id or a ``HardwareBackend`` spec.
+    """
     cache = str(cache_dir) if cache_dir is not None else None
-    tasks = [RowTask(spec, scale, seed, cache, verbose) for spec in specs]
+    spec_backend = _backend_spec(backend)
+    tasks = [RowTask(spec, scale, seed, cache, verbose, spec_backend)
+             for spec in specs]
     return parallel_map(_run_row, tasks, jobs=jobs)
 
 
@@ -91,21 +116,26 @@ class PanelTask:
     thresholds: Tuple
     seed: int
     cache_dir: Optional[str]
+    backend: Optional[HardwareBackend] = None
 
 
 def run_spec_panels(panel_fn: Callable[[PanelTask], R],
                     specs: Sequence[NetworkSpec],
                     scale: str, thresholds: Sequence,
                     seed: int = 0, jobs: Optional[int] = 1,
-                    cache_dir=None) -> Dict[str, R]:
+                    cache_dir=None,
+                    backend=DEFAULT_BACKEND_ID) -> Dict[str, R]:
     """Per-network panels keyed by spec label, optionally across
     processes.
 
     ``panel_fn`` must be a module-level callable taking a
     :class:`PanelTask`; figure modules supply the per-threshold sweep.
+    ``backend`` accepts a registry id or a ``HardwareBackend`` spec.
     """
     cache = str(cache_dir) if cache_dir is not None else None
-    tasks = [PanelTask(spec, scale, tuple(thresholds), seed, cache)
+    spec_backend = _backend_spec(backend)
+    tasks = [PanelTask(spec, scale, tuple(thresholds), seed, cache,
+                       spec_backend)
              for spec in specs]
     panels = parallel_map(panel_fn, tasks, jobs=jobs)
     return {spec.label: panel for spec, panel in zip(specs, panels)}

@@ -25,7 +25,9 @@ from typing import Optional
 from repro.core.artifacts import ArtifactStore, hash_key
 from repro.core.pipeline import PipelineConfig, PowerPruner
 from repro.core.report import PowerPruningReport
+from repro.core.stages import backend_key_payload
 from repro.experiments.config import NetworkSpec, pipeline_config
+from repro.hw import DEFAULT_BACKEND_ID
 from repro.nn.layers import Module
 from repro.power.characterization import WeightPowerTable
 from repro.systolic import TransitionStatsCollector
@@ -44,16 +46,23 @@ class ExperimentContext:
             contexts, runs and processes.
         store: An existing :class:`ArtifactStore` to share in-process;
             overrides ``cache_dir``.
+        backend: Hardware-backend id or spec (see :mod:`repro.hw`);
+            keys every stage artifact, so contexts on different
+            backends can share a store without ever colliding.
+        char_jobs: Processes to shard per-weight characterization over.
     """
 
     def __init__(self, spec: NetworkSpec, scale: str = "ci",
                  seed: int = 0, verbose: bool = False,
                  cache_dir=None,
-                 store: Optional[ArtifactStore] = None) -> None:
+                 store: Optional[ArtifactStore] = None,
+                 backend=DEFAULT_BACKEND_ID,
+                 char_jobs: int = 1) -> None:
         self.spec = spec
         self.scale = scale
         self.config: PipelineConfig = pipeline_config(
-            spec, scale, seed=seed, verbose=verbose)
+            spec, scale, seed=seed, verbose=verbose, backend=backend,
+            char_jobs=char_jobs)
         self.pruner = PowerPruner(self.config, cache_dir=cache_dir,
                                   store=store)
         self.runner = self.pruner.runner()
@@ -114,6 +123,7 @@ class ExperimentContext:
         key = hash_key({
             "stage": "timing_table/candidates",
             "version": "1",
+            "backend": backend_key_payload(config),
             "config": {
                 "timing_transitions": config.timing_transitions,
                 "timing_floor_ps": config.timing_floor_ps,

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.report import PowerPruningReport, format_table1
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
 from repro.experiments.parallel import run_table1_rows
+from repro.hw import DEFAULT_BACKEND_ID
 
 #: The paper's Table I, for side-by-side reporting.
 PAPER_TABLE1: Dict[str, Dict[str, object]] = {
@@ -48,15 +49,18 @@ PAPER_TABLE1: Dict[str, Dict[str, object]] = {
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS,
         verbose: bool = False, jobs: Optional[int] = 1,
-        cache_dir=None) -> List[PowerPruningReport]:
+        cache_dir=None,
+        backend: str = DEFAULT_BACKEND_ID) -> List[PowerPruningReport]:
     """Run the full pipeline for every spec; returns the reports.
 
     Rows are independent: ``jobs`` fans them out across processes
     (``0`` = all cores), and ``cache_dir`` shares the stage-graph
-    artifact cache between rows, runs and workers.
+    artifact cache between rows, runs and workers.  ``backend``
+    selects the hardware backend all rows characterize against.
     """
     return run_table1_rows(specs, scale=scale, jobs=jobs,
-                           cache_dir=cache_dir, verbose=verbose)
+                           cache_dir=cache_dir, verbose=verbose,
+                           backend=backend)
 
 
 def format_with_reference(reports: List[PowerPruningReport]) -> str:
@@ -80,8 +84,9 @@ def format_with_reference(reports: List[PowerPruningReport]) -> str:
 
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
-         cache_dir=None) -> List[PowerPruningReport]:
-    reports = run(scale, jobs=jobs, cache_dir=cache_dir)
+         cache_dir=None,
+         backend: str = DEFAULT_BACKEND_ID) -> List[PowerPruningReport]:
+    reports = run(scale, jobs=jobs, cache_dir=cache_dir, backend=backend)
     print(format_with_reference(reports))
     return reports
 

@@ -15,7 +15,7 @@ as three netlists sharing bit conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from repro.netlist.adder import kogge_stone_adder
+from repro.netlist.adder import kogge_stone_adder, ripple_carry_adder
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.gates import Netlist
 from repro.netlist.multiplier import booth_multiplier, signed_array_multiplier
@@ -29,6 +29,12 @@ PSUM_BITS = 22
 _MULTIPLIER_STYLES = {
     "booth": booth_multiplier,
     "array": signed_array_multiplier,
+}
+
+#: Partial-sum adder generator per supported style.
+_ADDER_STYLES = {
+    "kogge_stone": kogge_stone_adder,
+    "ripple": ripple_carry_adder,
 }
 
 
@@ -54,6 +60,7 @@ class MacUnit:
     product_bits: int = PRODUCT_BITS
     psum_bits: int = PSUM_BITS
     style: str = "booth"
+    adder_style: str = "kogge_stone"
 
     def cell_counts(self) -> dict:
         """Cell histogram of the full MAC (for reporting)."""
@@ -71,18 +78,20 @@ def _build_multiplier(act_bits: int, weight_bits: int, product_bits: int,
     return builder.build()
 
 
-def _build_adder(product_bits: int, psum_bits: int) -> Netlist:
+def _build_adder(product_bits: int, psum_bits: int,
+                 adder_style: str) -> Netlist:
     builder = NetlistBuilder("adder")
     product = builder.input_bus("product", product_bits)
     psum = builder.input_bus("psum", psum_bits)
     product_ext = builder.sign_extend(product, psum_bits)
-    result = kogge_stone_adder(builder, psum, product_ext)
+    add = _ADDER_STYLES[adder_style]
+    result = add(builder, psum, product_ext)
     builder.mark_output_bus("result", result)
     return builder.build()
 
 
 def _build_full(act_bits: int, weight_bits: int, product_bits: int,
-                psum_bits: int, style: str) -> Netlist:
+                psum_bits: int, style: str, adder_style: str) -> Netlist:
     builder = NetlistBuilder("mac")
     act = builder.input_bus("act", act_bits)
     weight = builder.input_bus("w", weight_bits)
@@ -91,7 +100,8 @@ def _build_full(act_bits: int, weight_bits: int, product_bits: int,
     product = generate(builder, act, weight, product_bits)
     builder.mark_output_bus("product", product)
     product_ext = builder.sign_extend(product, psum_bits)
-    result = kogge_stone_adder(builder, psum, product_ext)
+    add = _ADDER_STYLES[adder_style]
+    result = add(builder, psum, product_ext)
     builder.mark_output_bus("result", result)
     return builder.build()
 
@@ -100,18 +110,22 @@ def build_mac_unit(act_bits: int = ACT_BITS,
                    weight_bits: int = WEIGHT_BITS,
                    product_bits: int = PRODUCT_BITS,
                    psum_bits: int = PSUM_BITS,
-                   style: str = "booth") -> MacUnit:
+                   style: str = "booth",
+                   adder_style: str = "kogge_stone") -> MacUnit:
     """Generate the three netlist views of a MAC processing element.
 
     The defaults (8-bit operands, 16-bit product, 22-bit partial sum,
-    Booth multiplier) match the paper's 64x64 systolic array: 22 bits
-    accumulate 64 signed 8x8 products (16 + log2(64) = 22), and a Booth
-    datapath exhibits the per-weight power/timing spread of Figs. 2-3.
+    Booth multiplier, Kogge-Stone partial-sum adder) match the paper's
+    64x64 systolic array: 22 bits accumulate 64 signed 8x8 products
+    (16 + log2(64) = 22), and a Booth datapath exhibits the per-weight
+    power/timing spread of Figs. 2-3.
 
     Args:
         act_bits / weight_bits / product_bits / psum_bits: Bus widths.
         style: ``"booth"`` (default) or ``"array"``; see
             :mod:`repro.netlist.multiplier`.
+        adder_style: ``"kogge_stone"`` (default) or ``"ripple"``
+            partial-sum adder; see :mod:`repro.netlist.adder`.
     """
     if product_bits < act_bits + weight_bits:
         raise ValueError(
@@ -124,15 +138,21 @@ def build_mac_unit(act_bits: int = ACT_BITS,
             f"unknown multiplier style {style!r}; "
             f"choose from {sorted(_MULTIPLIER_STYLES)}"
         )
+    if adder_style not in _ADDER_STYLES:
+        raise ValueError(
+            f"unknown adder style {adder_style!r}; "
+            f"choose from {sorted(_ADDER_STYLES)}"
+        )
     return MacUnit(
         full=_build_full(act_bits, weight_bits, product_bits, psum_bits,
-                         style),
+                         style, adder_style),
         multiplier=_build_multiplier(act_bits, weight_bits, product_bits,
                                      style),
-        adder=_build_adder(product_bits, psum_bits),
+        adder=_build_adder(product_bits, psum_bits, adder_style),
         act_bits=act_bits,
         weight_bits=weight_bits,
         product_bits=product_bits,
         psum_bits=psum_bits,
         style=style,
+        adder_style=adder_style,
     )

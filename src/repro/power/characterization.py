@@ -10,14 +10,22 @@ A single global ``energy_scale`` is calibrated so the most expensive
 weight matches the paper's Fig. 2 peak (the quantized weight -105 at
 1066 µW); everything else — the shape of the curve, the zero-weight
 minimum, the power ordering — is produced by the gate-level simulation.
+
+Every weight value samples its stimulus from its own child RNG keyed on
+``(seed, weight)``, which makes the table independent of the
+characterization order and lets ``characterize(..., jobs=N)`` shard the
+per-weight simulations across processes with bit-for-bit identical
+results (calibration happens after the shards merge).
 """
 
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,10 +38,31 @@ from repro.power.transitions import (
     code_to_value,
 )
 from repro.sim.logic import bus_inputs, evaluate
-from repro.sim.switching import toggle_matrix
+from repro.sim.switching import paired_toggle_rates
 
 #: Fig. 2 anchor: the most power-hungry weight value burns ~1066 µW.
 ANCHOR_MAX_POWER_UW = 1066.0
+
+
+def weight_seed_sequence(seed: int, weight: int) -> np.random.SeedSequence:
+    """One independent RNG seed per characterized weight value.
+
+    The child entropy is keyed on the *weight value* (not its position
+    in the characterization order), so the stimulus drawn for a weight
+    is identical no matter which other weights are characterized, in
+    what order, or how the weight set is chunked across processes —
+    the property the sharded characterization relies on for bit-for-bit
+    equality with a serial run.
+    """
+    return np.random.SeedSequence(
+        [int(seed) & 0xFFFFFFFF, int(weight) & 0xFFFFFFFF])
+
+
+def _chunk_energies(task: Tuple["WeightPowerCharacterizer",
+                                np.ndarray, int]) -> np.ndarray:
+    """Worker entry point for sharded characterization (picklable)."""
+    characterizer, weights, seed = task
+    return characterizer.dynamic_energies_fj(weights, seed)
 
 
 @dataclass
@@ -170,38 +199,53 @@ class WeightPowerCharacterizer:
         self.n_samples = n_samples
         self.calibrate_to_uw = calibrate_to_uw
         self.estimator = PowerEstimator(library, clock_period_ps)
-        self._packed = mac.full.packed()
-        self._energies = self._packed.gate_energies(library)
+        self._packed, self._energies = self.estimator.packed_energies(
+            mac.full)
 
     def _dynamic_energy_fj(self, weight: int, rng: np.random.Generator
                            ) -> float:
-        """Mean switching energy per cycle for one frozen weight value."""
-        code_from, code_to = self.act_transitions.sample(
-            self.n_samples, rng
-        )
-        act_from = code_to_value(code_from, self.mac.act_bits)
-        act_to = code_to_value(code_to, self.mac.act_bits)
-        psum_from, psum_to = self.psum_transitions.sample_values(
-            self.n_samples, rng
-        )
-        weight_bus = bus_inputs(
-            "w", np.full(self.n_samples, weight), self.mac.weight_bits
-        )
+        """Mean switching energy per cycle for one frozen weight value.
 
-        feed_before = bus_inputs("act", act_from, self.mac.act_bits)
-        feed_before.update(weight_bus)
-        feed_before.update(bus_inputs("psum", psum_from, self.mac.psum_bits))
-        feed_after = bus_inputs("act", act_to, self.mac.act_bits)
-        feed_after.update(weight_bus)
-        feed_after.update(bus_inputs("psum", psum_to, self.mac.psum_bits))
+        The pre- and post-transition stimuli are evaluated as one
+        stacked batch — a single pass over the netlist instead of two —
+        and reduced straight to per-net toggle rates.
+        """
+        n = self.n_samples
+        code_from, code_to = self.act_transitions.sample(n, rng)
+        acts = code_to_value(np.concatenate([code_from, code_to]),
+                             self.mac.act_bits)
+        psum_from, psum_to = self.psum_transitions.sample_values(n, rng)
 
-        before = evaluate(self._packed, feed_before)
-        after = evaluate(self._packed, feed_after)
-        rates = toggle_matrix(before, after).mean(axis=1)
+        feed = bus_inputs("act", acts, self.mac.act_bits)
+        feed.update(bus_inputs(
+            "w", np.full(2 * n, weight), self.mac.weight_bits))
+        feed.update(bus_inputs(
+            "psum", np.concatenate([psum_from, psum_to]),
+            self.mac.psum_bits))
+
+        values = evaluate(self._packed, feed)
+        rates = paired_toggle_rates(values)
         return float(np.dot(rates, self._energies))
 
+    def dynamic_energies_fj(self, weights: Sequence[int],
+                            seed: int) -> np.ndarray:
+        """Raw (uncalibrated) per-weight switching energies.
+
+        Each weight draws its stimulus from its own child RNG (see
+        :func:`weight_seed_sequence`), so the result for a weight is a
+        pure function of ``(seed, weight)`` — independent of ordering,
+        chunking, and of which other weights are in the set.
+        """
+        return np.array([
+            self._dynamic_energy_fj(
+                int(w),
+                np.random.default_rng(weight_seed_sequence(seed, int(w))))
+            for w in weights
+        ])
+
     def characterize(self, weights: Optional[Iterable[int]] = None,
-                     seed: int = 2023) -> WeightPowerTable:
+                     seed: int = 2023,
+                     jobs: Optional[int] = 1) -> WeightPowerTable:
         """Build the per-weight power table.
 
         Args:
@@ -209,18 +253,34 @@ class WeightPowerCharacterizer:
                 symmetric 8-bit set -127..127 (255 values, matching the
                 TensorFlow-style symmetric quantization of the paper).
             seed: RNG seed for stimulus sampling.
+            jobs: Shard the per-weight simulations over this many
+                processes (``None``/``1`` = serial, ``0`` = all cores).
+                Thanks to per-weight seeding the sharded table is
+                bit-for-bit identical to the serial one, so ``jobs``
+                must never participate in cache keys.
         """
         if weights is None:
             half = 1 << (self.mac.weight_bits - 1)
             weights = range(-half + 1, half)
         weights = np.asarray(sorted(set(int(w) for w in weights)))
-        rng = np.random.default_rng(seed)
 
-        energies_fj = np.array([
-            self._dynamic_energy_fj(int(w), rng) for w in weights
-        ])
+        if jobs is None:
+            jobs = 1
+        elif jobs == 0:
+            jobs = os.cpu_count() or 1
+        jobs = max(1, min(jobs, weights.size))
+        if jobs == 1:
+            energies_fj = self.dynamic_energies_fj(weights, seed)
+        else:
+            chunks = np.array_split(weights, jobs)
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                parts = list(pool.map(
+                    _chunk_energies,
+                    [(self, chunk, seed) for chunk in chunks]))
+            energies_fj = np.concatenate(parts)
         dynamic_uw = energies_fj * self.estimator.frequency_ghz
-        leakage_uw = self.estimator.leakage_power_uw(self._packed)
+        # Keyed on mac.full so it hits the __init__-time memo entry.
+        leakage_uw = self.estimator.leakage_power_uw(self.mac.full)
 
         energy_scale = 1.0
         if self.calibrate_to_uw is not None and dynamic_uw.max() > 0:

@@ -10,7 +10,7 @@ in :mod:`repro.cells.voltage`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,6 +65,33 @@ class PowerEstimator:
         self.voltage_model = voltage_model or VoltageModel(
             vdd_nom=library.nominal_voltage
         )
+        # (packed view, per-net energies) memoized per *caller-supplied*
+        # netlist object — the stable identity across repeated
+        # estimates — so passing the same Netlist many times neither
+        # re-packs it nor re-walks the library per gate.  Capped so a
+        # caller streaming fresh netlists cannot grow it unboundedly.
+        self._energy_cache: Dict[int, Tuple[object, PackedNetlist,
+                                            np.ndarray]] = {}
+
+    _ENERGY_CACHE_MAX = 16
+
+    def packed_energies(self, netlist: Union[Netlist, PackedNetlist]
+                        ) -> Tuple[PackedNetlist, np.ndarray]:
+        """Packed view + per-net switching energies, memoized.
+
+        Keyed on the identity of ``netlist`` itself, so callers that
+        hold one circuit and estimate repeatedly (the characterization
+        hot path) pay the per-gate library walk once.
+        """
+        entry = self._energy_cache.get(id(netlist))
+        if entry is None or entry[0] is not netlist:
+            packed = (netlist if isinstance(netlist, PackedNetlist)
+                      else netlist.packed())
+            if len(self._energy_cache) >= self._ENERGY_CACHE_MAX:
+                self._energy_cache.clear()
+            entry = (netlist, packed, packed.gate_energies(self.library))
+            self._energy_cache[id(netlist)] = entry
+        return entry[1], entry[2]
 
     @property
     def frequency_ghz(self) -> float:
@@ -78,9 +105,7 @@ class PowerEstimator:
 
         ``fJ/cycle x GHz = µW`` keeps the unit bookkeeping trivial.
         """
-        packed = (netlist if isinstance(netlist, PackedNetlist)
-                  else netlist.packed())
-        energies = packed.gate_energies(self.library)
+        __, energies = self.packed_energies(netlist)
         energy_fj = float(np.dot(toggle_rates, energies))
         power = energy_fj * self.frequency_ghz * self.energy_scale
         if vdd is not None:
@@ -90,8 +115,7 @@ class PowerEstimator:
     def leakage_power_uw(self, netlist: Union[Netlist, PackedNetlist],
                          vdd: Optional[float] = None) -> float:
         """Leakage power in µW of all cells in the netlist."""
-        packed = (netlist if isinstance(netlist, PackedNetlist)
-                  else netlist.packed())
+        packed, __ = self.packed_energies(netlist)
         power = packed.total_leakage_nw(self.library) / 1000.0
         if vdd is not None:
             power *= self.voltage_model.leakage_power_scale(vdd)

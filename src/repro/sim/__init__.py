@@ -13,7 +13,11 @@ Vectorized replacements for the commercial tooling the paper uses:
 """
 
 from repro.sim.logic import bits_to_int, evaluate, int_to_bits
-from repro.sim.switching import toggle_matrix, toggle_rates
+from repro.sim.switching import (
+    paired_toggle_rates,
+    toggle_matrix,
+    toggle_rates,
+)
 from repro.sim.dynamic_timing import dynamic_arrival_times, dynamic_delays
 from repro.sim.static_timing import (
     static_arrival_times,
@@ -27,6 +31,7 @@ __all__ = [
     "bits_to_int",
     "toggle_matrix",
     "toggle_rates",
+    "paired_toggle_rates",
     "dynamic_arrival_times",
     "dynamic_delays",
     "static_arrival_times",

@@ -36,6 +36,31 @@ def toggle_rates(values_before: np.ndarray,
     return toggle_matrix(values_before, values_after).mean(axis=1)
 
 
+def paired_toggle_rates(values: np.ndarray) -> np.ndarray:
+    """Mean toggle probability from one stacked before/after evaluation.
+
+    Evaluating the pre- and post-transition patterns as a single batch
+    (``[before..., after...]`` along the sample axis) halves the number
+    of passes over the netlist; this helper splits that stacked result
+    and reduces it to per-net rates without materializing an
+    intermediate toggle matrix copy per half.
+
+    Args:
+        values: ``evaluate`` output of shape ``(nets, 2 * n_samples)``
+            whose first half of the batch axis holds the pre-transition
+            values and second half the post-transition values.
+
+    Returns:
+        Per-net mean toggle probability over the ``n_samples`` pairs.
+    """
+    if values.shape[1] % 2 != 0:
+        raise ValueError(
+            f"stacked batch of {values.shape[1]} samples has no "
+            f"before/after halves")
+    half = values.shape[1] // 2
+    return (values[:, :half] != values[:, half:]).mean(axis=1)
+
+
 def stream_toggle_counts(values: np.ndarray) -> np.ndarray:
     """Toggle counts of each net over a time-ordered pattern stream.
 

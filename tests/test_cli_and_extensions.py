@@ -15,7 +15,7 @@ from repro.power.transitions import TransitionDistribution, value_to_code
 class TestCli:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {"table1", "fig2", "fig3", "fig4",
-                                    "fig7", "fig8", "fig9"}
+                                    "fig7", "fig8", "fig9", "backends"}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -24,6 +24,20 @@ class TestCli:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig2", "--scale", "galactic"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--backend", "tsmc3"])
+
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "nangate15-booth" in out
+        assert "scaled-45nm" in out
+
+    def test_experiment_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main([])
 
     def test_help_exits_cleanly(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
