@@ -7,6 +7,8 @@ Usage::
     python -m repro fig7 --scale ci --jobs 0 --cache-dir .repro-cache
     python -m repro table1 --backend nangate15-array
     python -m repro backends --scale smoke --jobs 2
+    python -m repro sweep --experiment fig8 --backend nangate15-booth \
+        --backend nangate15-array --scale smoke --jobs 2
     python -m repro --list-backends
     ...
 
@@ -21,6 +23,10 @@ backends sharing a prefix — skip all unchanged work without ever
 colliding.  ``--backend`` selects the hardware backend (see
 ``--list-backends``); the ``backends`` experiment runs the Table I flow
 on several backends and compares them side by side.
+
+The ``sweep`` subcommand runs a declarative grid over backends x
+networks x thresholds x seeds and renders one combined per-backend
+table/chart — see ``python -m repro sweep --help``.
 """
 
 from __future__ import annotations
@@ -53,15 +59,25 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        # The declarative grid engine carries its own flag set
+        # (repeatable --backend/--network/--threshold, --spec files).
+        from repro.experiments import sweep
+
+        return sweep.cli_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a table/figure of the PowerPruning "
                     "paper (DAC 2023)",
     )
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS),
+                        choices=sorted(EXPERIMENTS) + ["sweep"],
                         help="which table/figure to regenerate "
-                             "('backends' compares hardware backends)")
+                             "('backends' compares hardware backends; "
+                             "'sweep' runs a declarative grid, see "
+                             "'sweep --help')")
     parser.add_argument("--scale", default="ci",
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
@@ -88,6 +104,9 @@ def main(argv=None) -> int:
     if args.experiment is None:
         parser.error("an experiment is required "
                      "(or use --list-backends)")
+    if args.experiment == "sweep":
+        parser.error("'sweep' must come first: "
+                     "python -m repro sweep [flags]")
     if args.backend is not None:
         try:
             get_backend(args.backend)

@@ -61,6 +61,7 @@ __all__ = [
     "StageRunner",
     "PipelineOps",
     "backend_key_payload",
+    "shared_stage_keys",
     "build_power_pruning_graph",
     "POWER_PRUNING_STAGES",
 ]
@@ -83,6 +84,26 @@ def backend_key_payload(config: "PipelineConfig") -> Dict[str, Any]:
 
     backend_id = getattr(config, "backend", DEFAULT_BACKEND_ID)
     return get_backend(backend_id).key_payload()
+
+
+def shared_stage_keys(config: "PipelineConfig",
+                      names: Optional[Sequence[str]] = None
+                      ) -> Dict[str, str]:
+    """Cache keys of the named pipeline stages under ``config``.
+
+    This is the sweep engine's dedup primitive: two grid points whose
+    configs produce the same key for a stage will share that stage's
+    artifact in a common store, so a sweep can count (and a test can
+    assert) exactly which prefixes of the graph are computed once per
+    backend rather than once per grid point.  Defaults to every stage.
+    """
+    from repro.core.pipeline import POWER_PRUNING_GRAPH
+
+    memo: Dict[str, str] = {}
+    if names is None:
+        names = POWER_PRUNING_GRAPH.names()
+    return {name: POWER_PRUNING_GRAPH.key(name, config, memo)
+            for name in names}
 
 
 @dataclass(frozen=True)
@@ -351,24 +372,24 @@ class PipelineOps:
             jobs=getattr(self.config, "char_jobs", 1))
 
     def characterize_timing(self, candidate_weights: Sequence[int]):
-        """Per-weight timing table for the power-selected candidates."""
+        """Per-weight timing table for the power-selected candidates.
+
+        ``config.char_jobs`` shards the per-weight dynamic timing
+        analyses across processes; each weight subsamples its
+        transitions from its own ``(seed, weight)``-keyed RNG, so the
+        sharded table is bit-for-bit identical to a serial run — which
+        is why ``char_jobs`` takes no part in the stage cache key.
+        """
         from repro.timing import WeightDelayProfiler, WeightTimingTable
 
         profiler = WeightDelayProfiler(self.mac, self.library)
-        transitions = None
-        if self.config.timing_transitions is not None:
-            act_from, act_to = profiler.all_transitions()
-            rng = np.random.default_rng(self.config.seed)
-            chosen = rng.choice(
-                act_from.size,
-                size=min(self.config.timing_transitions, act_from.size),
-                replace=False,
-            )
-            transitions = (act_from[chosen], act_to[chosen])
         return WeightTimingTable.characterize(
-            profiler, weights=candidate_weights, transitions=transitions,
+            profiler, weights=candidate_weights,
+            n_transitions=self.config.timing_transitions,
+            seed=self.config.seed,
             floor_ps=self.config.timing_floor_ps,
             calibrate_to_ps=self.backend.delay_anchor_ps,
+            jobs=getattr(self.config, "char_jobs", 1),
         )
 
     def recharacterize_filtered(self, allowed_activations, stats,
@@ -671,6 +692,9 @@ def build_power_pruning_graph() -> StageGraph:
     graph.add(Stage(
         "timing_table", _stage_timing_table, deps=("power_selection",),
         fields=("timing_transitions", "timing_floor_ps", "seed"),
+        # v2: per-weight child RNG transition subsampling
+        # (order/shard independent).
+        version="2",
     ))
     graph.add(Stage(
         "delay_selection", _stage_delay_selection,

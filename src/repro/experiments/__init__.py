@@ -17,14 +17,29 @@ from repro.experiments.config import (
     ExperimentScale,
     pipeline_config,
 )
-from repro.experiments.parallel import parallel_map, run_table1_rows
+from repro.experiments.parallel import (
+    ParallelTaskError,
+    parallel_map,
+    run_table1_rows,
+)
 from repro.experiments.runner import ExperimentContext
+from repro.experiments.sweep import (
+    SweepResult,
+    SweepSpec,
+    make_sweep_spec,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentScale",
     "NETWORK_SPECS",
     "pipeline_config",
     "ExperimentContext",
+    "ParallelTaskError",
     "parallel_map",
     "run_table1_rows",
+    "SweepSpec",
+    "SweepResult",
+    "make_sweep_spec",
+    "run_sweep",
 ]

@@ -8,26 +8,24 @@ on several backends and reports power, delay and accuracy side by
 side — how much of the paper's saving survives a different multiplier
 or adder style, or a different process/voltage operating point.
 
-Backends run sequentially; ``jobs`` is spent *inside* each run to
-shard the per-weight characterization stage across processes (the
-per-weight RNG seeding keeps the sharded tables bit-for-bit identical
-to serial ones).  A shared ``cache_dir`` is safe across backends: the
-backend spec participates in every stage key, so artifacts can never
-collide.
+This module is a thin adapter over the declarative sweep engine
+(:mod:`repro.experiments.sweep`): the backend axis is just a sweep
+grid.  Backend runs execute sequentially; ``jobs`` is spent *inside*
+each run to shard the per-weight power and timing characterization
+stages across processes (per-weight RNG seeding keeps the sharded
+tables bit-for-bit identical to serial ones).  A shared ``cache_dir``
+is safe across backends: the backend spec participates in every stage
+key, so artifacts can never collide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core.pipeline import PowerPruner
 from repro.core.report import PowerPruningReport
-from repro.experiments.config import (
-    NETWORK_SPECS,
-    NetworkSpec,
-    pipeline_config,
-)
+from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.sweep import make_sweep_spec, run_sweep
 from repro.hw import DEFAULT_BACKEND_ID, get_backend, list_backends
 
 
@@ -68,26 +66,27 @@ def run(scale: str = "ci",
         backend_ids: Backends to compare; all registered by default.
         spec: The network/dataset pair (paper's LeNet-5 by default).
         seed: Seed threaded through every stage.
-        jobs: Processes for sharding each run's per-weight
-            characterization (0 = all cores).
+        jobs: Processes for sharding each run's per-weight power and
+            timing characterization (0 = all cores).
         cache_dir: Shared on-disk artifact cache; backend-keyed, so
             re-runs and other experiments reuse unchanged stages.
         verbose: Log stage execution.
     """
     ids = list(backend_ids) if backend_ids else list_backends()
-    rows: List[BackendRow] = []
-    for backend_id in ids:
-        backend = get_backend(backend_id)  # fail fast on typos
-        config = pipeline_config(spec, scale, seed=seed, verbose=verbose,
-                                 backend=backend_id,
-                                 char_jobs=1 if jobs is None else jobs)
-        report = PowerPruner(config, cache_dir=cache_dir).run()
-        rows.append(BackendRow(
-            backend_id=backend_id,
-            description=backend.description,
-            mac_cells=sum(backend.build_mac().cell_counts().values()),
-            report=report,
-        ))
+    backends = {backend_id: get_backend(backend_id)  # fail fast on typos
+                for backend_id in ids}
+    sweep = make_sweep_spec("table1", backends=ids, networks=(spec,),
+                            seeds=(seed,), scale=scale)
+    result = run_sweep(sweep, jobs=1, cache_dir=cache_dir,
+                       char_jobs=1 if jobs is None else jobs,
+                       verbose=verbose)
+    rows = [BackendRow(
+        backend_id=row.backend_id,
+        description=backends[row.backend_id].description,
+        mac_cells=sum(backends[row.backend_id].build_mac()
+                      .cell_counts().values()),
+        report=row.payload,
+    ) for row in result.rows]
     return BackendComparison(spec=spec, scale=scale, rows=rows)
 
 

@@ -3,6 +3,11 @@
 For each network, sweep the weight-power threshold (None, 900, 850, 825,
 800 µW), restrict + retrain at each point, and record the number of
 surviving weight values, the Optimized-HW power, and the accuracy.
+
+This module is a thin adapter over the declarative sweep engine
+(:mod:`repro.experiments.sweep`): the grid expansion, process pool,
+stage-cache sharing and per-point caching all live there.  Use
+``python -m repro sweep --experiment fig8`` for multi-backend overlays.
 """
 
 from __future__ import annotations
@@ -11,16 +16,22 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
-from repro.experiments.parallel import PanelTask, run_spec_panels
-from repro.experiments.runner import ExperimentContext
+from repro.experiments import sweep as sweep_engine
+from repro.experiments.sweep import (
+    SweepResult,
+    make_sweep_spec,
+    run_sweep,
+)
 from repro.hw import DEFAULT_BACKEND_ID
-from repro.nn.restrict import WeightRestriction
 from repro.power.estimator import PowerBreakdown
 
 #: The paper's sweep and the weight-value counts it reports.
 PAPER_SWEEP = (
     (None, 255), (900.0, 86), (850.0, 61), (825.0, 48), (800.0, 36),
 )
+
+#: The paper's threshold axis (single source: the sweep engine).
+DEFAULT_THRESHOLDS = sweep_engine.DEFAULT_THRESHOLDS["fig8"]
 
 
 @dataclass
@@ -41,51 +52,38 @@ class Fig8Result:
         return [p.accuracy for p in self.points[label]]
 
 
-def _run_panel(task: PanelTask) -> List[Fig8Point]:
-    context = ExperimentContext(task.spec, task.scale, seed=task.seed,
-                                cache_dir=task.cache_dir,
-                                backend=task.backend)
-    table = context.power_table
-    series: List[Fig8Point] = []
-    for threshold in task.thresholds:
-        model = context.reset_model()
-        if threshold is None:
-            allowed = table.weights.copy()
-            accuracy = context.accuracy_pruned
-        else:
-            allowed = table.select_below(threshold)
-            if allowed.size < 2:
-                continue
-            model.set_weight_restriction(
-                WeightRestriction(allowed))
-            accuracy = context.retrain(model)
-        __, power_opt = context.measure_power(model)
-        series.append(Fig8Point(
-            threshold_uw=threshold,
-            n_weights=int(allowed.size),
-            accuracy=accuracy,
-            power_opt=power_opt,
-        ))
-    return series
+def result_from_sweep(result: SweepResult,
+                      backend_id: Optional[str] = None) -> Fig8Result:
+    """Per-network Fig. 8 panels from sweep rows (one backend)."""
+    points: Dict[str, List[Fig8Point]] = {
+        spec.label: [] for spec in result.sweep.networks}
+    for row in result.rows:
+        if backend_id is not None and row.backend_id != backend_id:
+            continue
+        if row.skipped is not None:
+            continue
+        points[row.network].append(Fig8Point(**row.payload))
+    return Fig8Result(points=points)
 
 
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
-        thresholds: Sequence[Optional[float]] = (None, 900.0, 850.0,
-                                                 825.0, 800.0),
+        thresholds: Sequence[Optional[float]] = DEFAULT_THRESHOLDS,
         seed: int = 0, jobs: Optional[int] = 1,
         cache_dir=None,
         backend: str = DEFAULT_BACKEND_ID) -> Fig8Result:
     """Sweep the power threshold for each spec.
 
     Defaults to LeNet-5 only at CI scale; pass ``specs=NETWORK_SPECS``
-    for all four panels.  Panels are independent — ``jobs`` fans them
-    out across processes and ``cache_dir`` shares the stage-graph
+    for all four panels.  Grid points are independent — ``jobs`` fans
+    them out across processes and ``cache_dir`` shares the stage-graph
     artifact cache (e.g. a previous Table I run's training prefix).
     """
-    return Fig8Result(points=run_spec_panels(
-        _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
-        cache_dir=cache_dir, backend=backend))
+    sweep = make_sweep_spec("fig8", backends=(backend,), networks=specs,
+                            thresholds=thresholds, seeds=(seed,),
+                            scale=scale)
+    return result_from_sweep(
+        run_sweep(sweep, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_series(result: Fig8Result) -> str:

@@ -4,6 +4,13 @@ At a fixed weight-power threshold (825 µW; 900 µW for EfficientNet), the
 delay threshold is swept from 180 ps down to 140 ps.  Each point runs the
 randomized weight/activation removal, retrains under the surviving sets,
 and records the number of surviving activation values and the accuracy.
+
+This module is a thin adapter over the declarative sweep engine
+(:mod:`repro.experiments.sweep`): the grid expansion, process pool,
+stage-cache sharing (the per-candidate-set timing table is characterized
+once and reused by every threshold) and per-point caching all live
+there.  Use ``python -m repro sweep --experiment fig9`` for
+multi-backend overlays.
 """
 
 from __future__ import annotations
@@ -12,15 +19,24 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
-from repro.experiments.parallel import PanelTask, run_spec_panels
-from repro.experiments.runner import ExperimentContext
+from repro.experiments import sweep as sweep_engine
+from repro.experiments.sweep import (
+    SweepResult,
+    fig9_weight_threshold,
+    make_sweep_spec,
+    run_sweep,
+)
 from repro.hw import DEFAULT_BACKEND_ID
-from repro.nn.restrict import ActivationFilter, WeightRestriction
-from repro.timing.selection import DelaySelector
 
 #: Paper: x-axis points (threshold ps -> #activation values for the
 #: CIFAR networks; EfficientNet numbers in parentheses in the figure).
 PAPER_SWEEP = ((180, 256), (170, 234), (160, 221), (150, 179), (140, 73))
+
+#: The paper's threshold axis (single source: the sweep engine).
+DEFAULT_THRESHOLDS = sweep_engine.DEFAULT_THRESHOLDS["fig9"]
+
+#: Backwards-compatible alias; the rule lives with the sweep engine now.
+_weight_threshold_for = fig9_weight_threshold
 
 
 @dataclass
@@ -36,64 +52,36 @@ class Fig9Result:
     points: Dict[str, List[Fig9Point]]
 
 
-def _weight_threshold_for(spec: NetworkSpec, scale: str) -> float:
-    """825 µW for the CIFAR networks, 900 µW for EfficientNet (paper).
-
-    At smoke scale only every 16th weight value is characterized, so the
-    paper's 825 µW would leave too few values to train at all; the sweep
-    then uses the looser 900 µW point (the delay axis is what the figure
-    studies).
-    """
-    if scale == "smoke" or spec.network == "efficientnet-b0-lite":
-        return 900.0
-    return 825.0
-
-
-def _run_panel(task: PanelTask) -> List[Fig9Point]:
-    context = ExperimentContext(task.spec, task.scale, seed=task.seed,
-                                cache_dir=task.cache_dir,
-                                backend=task.backend)
-    power_table = context.power_table
-    candidates = power_table.select_below(
-        _weight_threshold_for(task.spec, task.scale))
-    timing_table = context.timing_table(candidates)
-    selector = DelaySelector(timing_table,
-                             n_restarts=context.config.n_restarts)
-    series: List[Fig9Point] = []
-    for threshold in sorted(task.thresholds, reverse=True):
-        selection = selector.select(
-            threshold, candidate_weights=candidates, seed=task.seed)
-        if selection.n_weights < 2:
+def result_from_sweep(result: SweepResult,
+                      backend_id: Optional[str] = None) -> Fig9Result:
+    """Per-network Fig. 9 panels from sweep rows (one backend)."""
+    points: Dict[str, List[Fig9Point]] = {
+        spec.label: [] for spec in result.sweep.networks}
+    for row in result.rows:
+        if backend_id is not None and row.backend_id != backend_id:
             continue
-        model = context.reset_model()
-        model.set_weight_restriction(
-            WeightRestriction(selection.weights))
-        model.set_activation_filter(
-            ActivationFilter(selection.activations))
-        accuracy = context.retrain(model)
-        series.append(Fig9Point(
-            threshold_ps=threshold,
-            n_weights=selection.n_weights,
-            n_activations=selection.n_activations,
-            accuracy=accuracy,
-        ))
-    return series
+        if row.skipped is not None:
+            continue
+        points[row.network].append(Fig9Point(**row.payload))
+    return Fig9Result(points=points)
 
 
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
-        thresholds: Sequence[float] = (180.0, 170.0, 160.0, 150.0, 140.0),
+        thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
         seed: int = 0, jobs: Optional[int] = 1,
         cache_dir=None,
         backend: str = DEFAULT_BACKEND_ID) -> Fig9Result:
     """Sweep the delay threshold per spec at its fixed power threshold.
 
-    Panels are independent — ``jobs`` fans them out across processes
-    and ``cache_dir`` shares the stage-graph artifact cache.
+    Grid points are independent — ``jobs`` fans them out across
+    processes and ``cache_dir`` shares the stage-graph artifact cache.
     """
-    return Fig9Result(points=run_spec_panels(
-        _run_panel, specs, scale, thresholds, seed=seed, jobs=jobs,
-        cache_dir=cache_dir, backend=backend))
+    sweep = make_sweep_spec("fig9", backends=(backend,), networks=specs,
+                            thresholds=thresholds, seeds=(seed,),
+                            scale=scale)
+    return result_from_sweep(
+        run_sweep(sweep, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_series(result: Fig9Result) -> str:

@@ -1,19 +1,26 @@
 """Process-parallel execution of independent experiment units.
 
-Table I rows and the per-network panels of the figure sweeps are
-independent of each other, so they can run in separate processes.  Each
-worker rebuilds its own :class:`~repro.experiments.runner.ExperimentContext`;
-pointing every worker at the same ``cache_dir`` makes them share the
+Table I rows, figure panels and sweep grid points are independent of
+each other, so they can run in separate processes.  Each worker rebuilds
+its own :class:`~repro.experiments.runner.ExperimentContext`; pointing
+every worker at the same ``cache_dir`` makes them share the
 content-addressed artifact cache on disk, so a re-run (or a figure
 riding on a Table I run) pays only for stages nobody computed yet.
+
+A failing worker raises :class:`ParallelTaskError` in the parent, whose
+message names the exact task (grid point, row) that crashed plus the
+worker-side traceback — a pool of dozens of grid points would otherwise
+surface only the bare exception with no hint of which point died.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
+from typing import Any, Callable, List, Optional, Sequence, Tuple, \
     TypeVar
 
 from repro.core.report import PowerPruningReport
@@ -23,13 +30,60 @@ from repro.hw import DEFAULT_BACKEND_ID, HardwareBackend, get_backend
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["default_jobs", "parallel_map", "RowTask", "run_table1_rows",
-           "PanelTask", "run_spec_panels"]
+__all__ = ["default_jobs", "parallel_map", "ParallelTaskError",
+           "RowTask", "run_table1_rows"]
+
+
+class ParallelTaskError(RuntimeError):
+    """A parallel task failed; the message names the failing task."""
 
 
 def default_jobs() -> int:
     """Worker count when ``--jobs 0`` asks for "all cores"."""
     return max(1, os.cpu_count() or 1)
+
+
+def describe_task(item: Any) -> str:
+    """Human-readable one-liner identifying a work item.
+
+    Tasks that implement ``describe()`` (grid points, row tasks) name
+    themselves; anything else falls back to a truncated ``repr``.
+    """
+    describe = getattr(item, "describe", None)
+    if callable(describe):
+        try:
+            return str(describe())
+        except Exception:
+            pass
+    text = repr(item)
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _shippable_exception(error: BaseException
+                         ) -> Optional[BaseException]:
+    """``error`` if it survives a pickle round-trip, else ``None``.
+
+    Worker exceptions travel back to the parent inside the result
+    payload; an unpicklable one (custom ``__init__`` signatures, open
+    handles in args) must not crash the transport a second time.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return None
+
+
+def _call_guarded(packed: Tuple[Callable[[T], R], int, T]
+                  ) -> Tuple[bool, Any]:
+    """Worker wrapper: ``(True, result)`` or ``(False, failure info)``."""
+    fn, index, item = packed
+    try:
+        return True, fn(item)
+    except Exception as error:
+        return False, (index, describe_task(item),
+                       traceback.format_exc(),
+                       _shippable_exception(error))
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
@@ -41,15 +95,42 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         items: Picklable work items.
         jobs: Process count; ``None``/``0`` uses every core, ``1`` (or a
             single item) runs inline without spawning workers.
+
+    Raises:
+        ParallelTaskError: A task raised; the message names the task
+            (``item.describe()`` when available) and, for pool runs,
+            includes the worker-side traceback.  The original exception
+            is chained as ``__cause__`` whenever it can be shipped
+            across the process boundary.
     """
     items = list(items)
     if jobs is None or jobs == 0:
         jobs = default_jobs()
     jobs = max(1, min(jobs, len(items)))
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results: List[R] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except ParallelTaskError:
+                raise
+            except Exception as error:
+                raise ParallelTaskError(
+                    f"task {index}/{len(items)} failed: "
+                    f"{describe_task(item)}") from error
+        return results
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items))
+        outcomes = list(pool.map(
+            _call_guarded,
+            [(fn, index, item) for index, item in enumerate(items)]))
+    for ok, payload in outcomes:
+        if not ok:
+            index, described, worker_traceback, error = payload
+            raise ParallelTaskError(
+                f"task {index}/{len(items)} failed: {described}\n"
+                f"--- worker traceback ---\n{worker_traceback}"
+            ) from error
+    return [payload for __, payload in outcomes]
 
 
 def _backend_spec(backend) -> HardwareBackend:
@@ -78,6 +159,13 @@ class RowTask:
     verbose: bool = False
     backend: Optional[HardwareBackend] = None
 
+    def describe(self) -> str:
+        backend = (self.backend.backend_id if self.backend is not None
+                   else DEFAULT_BACKEND_ID)
+        return (f"table1 row {self.spec.label} "
+                f"[scale={self.scale} seed={self.seed} "
+                f"backend={backend}]")
+
 
 def _run_row(task: RowTask) -> PowerPruningReport:
     from repro.experiments.runner import ExperimentContext
@@ -105,37 +193,3 @@ def run_table1_rows(specs: Sequence[NetworkSpec] = NETWORK_SPECS,
     tasks = [RowTask(spec, scale, seed, cache, verbose, spec_backend)
              for spec in specs]
     return parallel_map(_run_row, tasks, jobs=jobs)
-
-
-@dataclass(frozen=True)
-class PanelTask:
-    """One network's sweep panel, picklable for worker dispatch."""
-
-    spec: NetworkSpec
-    scale: str
-    thresholds: Tuple
-    seed: int
-    cache_dir: Optional[str]
-    backend: Optional[HardwareBackend] = None
-
-
-def run_spec_panels(panel_fn: Callable[[PanelTask], R],
-                    specs: Sequence[NetworkSpec],
-                    scale: str, thresholds: Sequence,
-                    seed: int = 0, jobs: Optional[int] = 1,
-                    cache_dir=None,
-                    backend=DEFAULT_BACKEND_ID) -> Dict[str, R]:
-    """Per-network panels keyed by spec label, optionally across
-    processes.
-
-    ``panel_fn`` must be a module-level callable taking a
-    :class:`PanelTask`; figure modules supply the per-threshold sweep.
-    ``backend`` accepts a registry id or a ``HardwareBackend`` spec.
-    """
-    cache = str(cache_dir) if cache_dir is not None else None
-    spec_backend = _backend_spec(backend)
-    tasks = [PanelTask(spec, scale, tuple(thresholds), seed, cache,
-                       spec_backend)
-             for spec in specs]
-    panels = parallel_map(panel_fn, tasks, jobs=jobs)
-    return {spec.label: panel for spec, panel in zip(specs, panels)}

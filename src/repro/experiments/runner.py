@@ -111,18 +111,20 @@ class ExperimentContext:
     def power_table(self) -> WeightPowerTable:
         return self.runner.get("power_table")
 
-    def timing_table(self, candidate_weights) -> WeightTimingTable:
-        """Timing table for an arbitrary candidate set.
+    def timing_table_key(self, candidate_weights) -> str:
+        """Cache key of :meth:`timing_table` for a candidate set.
 
-        Sweeps probe candidate sets that differ from the pipeline's own
-        power selection, so this is keyed directly on the candidates
-        (plus the timing config fields) in the same artifact store.
+        ``char_jobs`` is deliberately absent: sharded characterization
+        is bit-for-bit identical to serial, so the artifact must be
+        shared across any sharding choice.
         """
         candidates = tuple(sorted(int(w) for w in candidate_weights))
         config = self.config
-        key = hash_key({
+        return hash_key({
             "stage": "timing_table/candidates",
-            "version": "1",
+            # v2: per-weight child RNG transition subsampling
+            # (order/shard independent).
+            "version": "2",
             "backend": backend_key_payload(config),
             "config": {
                 "timing_transitions": config.timing_transitions,
@@ -131,8 +133,19 @@ class ExperimentContext:
             },
             "candidates": candidates,
         })
+
+    def timing_table(self, candidate_weights) -> WeightTimingTable:
+        """Timing table for an arbitrary candidate set.
+
+        Sweeps probe candidate sets that differ from the pipeline's own
+        power selection, so this is keyed directly on the candidates
+        (plus the timing config fields) in the same artifact store.
+        ``char_jobs`` shards the per-weight analyses across processes
+        without changing a bit of the result.
+        """
+        candidates = tuple(sorted(int(w) for w in candidate_weights))
         return self.store.get_or_compute(
-            key,
+            self.timing_table_key(candidates),
             lambda: self.runner.ops.characterize_timing(list(candidates)),
         )
 

@@ -1,0 +1,920 @@
+"""Declarative sweep engine over backends × networks × thresholds × seeds.
+
+The paper's headline results are sweeps — the Fig. 8/9 threshold curves
+and the Table I trade-off — and the :mod:`repro.hw` registry multiplies
+every one of them by a backend axis.  Instead of each figure hand-rolling
+its own loop, a :class:`SweepSpec` declares the grid, :func:`expand`
+turns it into a deduplicated list of :class:`SweepPoint` tasks, and
+:func:`run_sweep` flattens those into the
+:func:`~repro.experiments.parallel.parallel_map` process pool.
+
+Caching makes the grid cheap where it overlaps:
+
+* every pipeline stage is content-addressed (see
+  :mod:`repro.core.stages`), so grid points that differ only in their
+  threshold share the whole training/characterization prefix — computed
+  once per (backend, network, seed), not once per grid point;
+* on top of that, each finished grid point is itself stored under a
+  sweep-level key (:func:`point_cache_key`), so re-running a sweep — or
+  a larger sweep containing it — skips even the per-point retraining;
+* tasks are scheduled round-robin across (backend, network, seed)
+  prefix groups, so parallel workers warm *different* prefixes instead
+  of racing to compute the same one.
+
+``fig8``/``fig9``/``table1``/``backends`` are thin adapters over this
+module; the ``sweep`` CLI subcommand exposes the full grid directly
+(``python -m repro sweep --help``), including multi-backend overlays
+the per-figure mains cannot express.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.artifacts import ArtifactStore, hash_key
+from repro.core.pipeline import PipelineConfig
+from repro.core.stages import backend_key_payload, shared_stage_keys
+from repro.experiments.config import (
+    NETWORK_SPECS,
+    NetworkSpec,
+    pipeline_config,
+)
+from repro.experiments.parallel import (
+    ParallelTaskError,
+    default_jobs,
+    parallel_map,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.hw import DEFAULT_BACKEND_ID, HardwareBackend, get_backend
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "SweepRow",
+    "SweepResult",
+    "make_sweep_spec",
+    "load_sweep_file",
+    "expand",
+    "point_config",
+    "point_cache_key",
+    "run_sweep",
+    "format_sweep",
+    "fig9_weight_threshold",
+    "resolve_network",
+    "sweep_experiments",
+]
+
+#: Default threshold axes, matching the paper's figures.
+DEFAULT_THRESHOLDS: Dict[str, Tuple[Optional[float], ...]] = {
+    "table1": (None,),
+    "fig8": (None, 900.0, 850.0, 825.0, 800.0),
+    "fig9": (180.0, 170.0, 160.0, 150.0, 140.0),
+}
+
+#: The hardware-independent-per-threshold prefix of the stage graph:
+#: grid points that differ only in their threshold axis share these
+#: stages' cache keys by construction.
+SHARED_PREFIX_STAGES: Tuple[str, ...] = (
+    "dataset", "baseline", "pruned", "operand_stats", "power_table",
+)
+
+
+def fig9_weight_threshold(spec: NetworkSpec, scale: str) -> float:
+    """825 µW for the CIFAR networks, 900 µW for EfficientNet (paper).
+
+    At smoke scale only every 16th weight value is characterized, so the
+    paper's 825 µW would leave too few values to train at all; the sweep
+    then uses the looser 900 µW point (the delay axis is what Fig. 9
+    studies).
+    """
+    if scale == "smoke" or spec.network == "efficientnet-b0-lite":
+        return 900.0
+    return 825.0
+
+
+def resolve_network(name: Union[str, NetworkSpec]) -> NetworkSpec:
+    """A :class:`NetworkSpec` from a spec, network name, or row label."""
+    if isinstance(name, NetworkSpec):
+        return name
+    lowered = str(name).lower()
+    for spec in NETWORK_SPECS:
+        if lowered in (spec.network.lower(), spec.label.lower()):
+            return spec
+    choices = sorted(spec.network for spec in NETWORK_SPECS)
+    raise ValueError(f"unknown network {name!r}; choose from {choices}")
+
+
+# ----------------------------------------------------------------------
+# grid declaration and expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declarative sweep grid (already normalized).
+
+    Build via :func:`make_sweep_spec` (or :func:`load_sweep_file`),
+    which validates the experiment, resolves network names, applies the
+    per-experiment threshold rules and deduplicates every axis.
+    """
+
+    experiment: str
+    backends: Tuple[Union[str, HardwareBackend], ...] = (
+        DEFAULT_BACKEND_ID,)
+    networks: Tuple[NetworkSpec, ...] = (NETWORK_SPECS[0],)
+    thresholds: Tuple[Optional[float], ...] = (None,)
+    seeds: Tuple[int, ...] = (0,)
+    scale: str = "ci"
+
+    def describe(self) -> str:
+        return (f"{self.experiment} | scale {self.scale} | "
+                f"{len(self.backends)} backend(s) x "
+                f"{len(self.networks)} network(s) x "
+                f"{len(self.thresholds)} threshold(s) x "
+                f"{len(self.seeds)} seed(s)")
+
+
+def make_sweep_spec(experiment: str,
+                    backends: Optional[Sequence] = None,
+                    networks: Optional[Sequence] = None,
+                    thresholds: Optional[
+                        Sequence[Optional[float]]] = None,
+                    seeds: Optional[Sequence[int]] = None,
+                    scale: str = "ci") -> SweepSpec:
+    """Validate and normalize a sweep grid.
+
+    Args:
+        experiment: One of :func:`sweep_experiments`.
+        backends: Registry ids and/or :class:`HardwareBackend` specs.
+        networks: :class:`NetworkSpec` objects, network names or labels.
+        thresholds: Power thresholds in µW for ``fig8`` (``None`` = no
+            restriction), delay thresholds in ps for ``fig9`` (sorted
+            descending, as the paper sweeps them); ``table1`` has no
+            threshold axis.
+        seeds: Pipeline seeds.
+        scale: Experiment scale (``smoke``/``ci``/``paper``).
+    """
+    if experiment not in _POINT_RUNNERS:
+        raise ValueError(f"unknown sweep experiment {experiment!r}; "
+                         f"choose from {sweep_experiments()}")
+    backend_axis = tuple(dict.fromkeys(
+        backends if backends else (DEFAULT_BACKEND_ID,)))
+    network_axis = tuple(dict.fromkeys(
+        resolve_network(n)
+        for n in (networks if networks else (NETWORK_SPECS[0],))))
+    seed_axis = tuple(dict.fromkeys(
+        int(s) for s in (seeds if seeds is not None else (0,))))
+    if not seed_axis:
+        raise ValueError("at least one seed is required")
+
+    if experiment == "table1":
+        if thresholds not in (None, (), (None,)) \
+                and tuple(thresholds) != (None,):
+            raise ValueError("table1 has no threshold axis")
+        threshold_axis: Tuple[Optional[float], ...] = (None,)
+    else:
+        given = (tuple(thresholds) if thresholds
+                 else DEFAULT_THRESHOLDS[experiment])
+        normalized = tuple(
+            None if t is None else float(t) for t in given)
+        if experiment == "fig9":
+            if any(t is None for t in normalized):
+                raise ValueError(
+                    "fig9 delay thresholds must be numbers (ps)")
+            normalized = tuple(sorted(set(normalized), reverse=True))
+        else:
+            normalized = tuple(dict.fromkeys(normalized))
+        if not normalized:
+            raise ValueError("at least one threshold is required")
+        threshold_axis = normalized
+
+    return SweepSpec(experiment=experiment, backends=backend_axis,
+                     networks=network_axis, thresholds=threshold_axis,
+                     seeds=seed_axis, scale=scale)
+
+
+def load_sweep_file(path) -> SweepSpec:
+    """A :class:`SweepSpec` from a small JSON or TOML file.
+
+    Recognized keys: ``experiment`` (required), ``backends``,
+    ``networks``, ``thresholds`` (``null``/``"none"`` entries mean "no
+    restriction" for fig8), ``seeds``, ``scale``.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        data = tomllib.loads(text)
+    else:
+        data = json.loads(text)
+    if not isinstance(data, dict) or "experiment" not in data:
+        raise ValueError(
+            f"sweep spec {str(path)!r} must be a table/object with an "
+            f"'experiment' key")
+    known = {"experiment", "backends", "networks", "thresholds",
+             "seeds", "scale"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown sweep spec keys {unknown}; "
+                         f"recognized: {sorted(known)}")
+    thresholds = data.get("thresholds")
+    if thresholds is not None:
+        thresholds = [None if isinstance(t, str)
+                      and t.lower() == "none" else t
+                      for t in thresholds]
+    return make_sweep_spec(
+        data["experiment"],
+        backends=data.get("backends"),
+        networks=data.get("networks"),
+        thresholds=thresholds,
+        seeds=data.get("seeds"),
+        scale=data.get("scale", "ci"),
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved grid point, picklable for worker dispatch."""
+
+    experiment: str
+    backend: HardwareBackend
+    spec: NetworkSpec
+    threshold: Optional[float]
+    seed: int
+    scale: str
+
+    def describe(self) -> str:
+        threshold = ("-" if self.threshold is None
+                     else f"{self.threshold:g}")
+        return (f"{self.experiment} point [network={self.spec.label} "
+                f"backend={self.backend.backend_id} "
+                f"threshold={threshold} seed={self.seed} "
+                f"scale={self.scale}]")
+
+    def key(self) -> str:
+        """Grid identity — unique per distinct point, stable across
+        runs; used for deduplication and the property tests."""
+        return hash_key({
+            "sweep_point": self.experiment,
+            "backend": self.backend.key_payload(),
+            "network": self.spec.network,
+            "dataset": self.spec.dataset,
+            "num_classes": self.spec.num_classes,
+            "threshold": self.threshold,
+            "seed": self.seed,
+            "scale": self.scale,
+        })
+
+
+def expand(sweep: SweepSpec) -> List[SweepPoint]:
+    """The deduplicated task list of a sweep grid.
+
+    Expansion order is deterministic — backends, then networks, then
+    seeds, then thresholds (innermost) — so points sharing a training
+    prefix are contiguous and results group naturally per panel.
+    """
+    backends = tuple(
+        b if isinstance(b, HardwareBackend) else get_backend(b)
+        for b in sweep.backends)
+    points: List[SweepPoint] = []
+    seen = set()
+    for backend in backends:
+        for spec in sweep.networks:
+            for seed in sweep.seeds:
+                for threshold in sweep.thresholds:
+                    point = SweepPoint(
+                        experiment=sweep.experiment, backend=backend,
+                        spec=spec, threshold=threshold, seed=seed,
+                        scale=sweep.scale)
+                    key = point.key()
+                    if key not in seen:
+                        seen.add(key)
+                        points.append(point)
+    return points
+
+
+def point_config(point: SweepPoint, char_jobs: int = 1,
+                 verbose: bool = False) -> PipelineConfig:
+    """The pipeline config one grid point runs under."""
+    return pipeline_config(point.spec, point.scale, seed=point.seed,
+                           verbose=verbose, backend=point.backend,
+                           char_jobs=char_jobs)
+
+
+#: Config fields that never influence results and must therefore never
+#: enter a cache key (sharding is bit-for-bit; the backend is hashed
+#: via its full spec payload instead of its registry id).
+_NON_KEY_FIELDS = ("backend", "char_jobs", "verbose")
+
+
+def point_cache_key(point: SweepPoint, config: PipelineConfig) -> str:
+    """Sweep-level cache key of one grid point's finished result.
+
+    Hashes the experiment, the point's threshold, the full backend spec
+    and every result-relevant config field, so a re-run (or a larger
+    sweep containing this point) reuses the finished row — including
+    its per-threshold retraining, which is not a pipeline stage of its
+    own.
+    """
+    return hash_key({
+        "stage": f"sweep/{point.experiment}",
+        "version": "1",
+        "backend": backend_key_payload(config),
+        "threshold": point.threshold,
+        "config": {f.name: getattr(config, f.name)
+                   for f in dataclass_fields(config)
+                   if f.name not in _NON_KEY_FIELDS},
+    })
+
+
+def shared_prefix_count(points: Sequence[SweepPoint]) -> int:
+    """Distinct training/characterization prefixes across the grid.
+
+    Counts unique key tuples of :data:`SHARED_PREFIX_STAGES` — the
+    number of times the expensive prefix actually runs when every grid
+    point shares one artifact store.
+    """
+    prefixes = set()
+    for point in points:
+        keys = shared_stage_keys(point_config(point),
+                                 SHARED_PREFIX_STAGES)
+        prefixes.add(tuple(keys[name] for name in SHARED_PREFIX_STAGES))
+    return len(prefixes)
+
+
+# ----------------------------------------------------------------------
+# point execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point's tidy outcome."""
+
+    experiment: str
+    backend_id: str
+    network: str
+    threshold: Optional[float]
+    seed: int
+    scale: str
+    #: Experiment-specific result record (report object or metric
+    #: dict); ``None`` when the point was skipped.
+    payload: Any
+    #: Flat numeric metrics for tables/charts/CSV.
+    metrics: Mapping[str, float]
+    #: Reason the point produced no result (e.g. too few survivors).
+    skipped: Optional[str] = None
+
+
+def _point_table1(point: SweepPoint, context: ExperimentContext
+                  ) -> Dict[str, Any]:
+    report = context.report()
+    return {
+        "payload": report,
+        "metrics": {
+            "accuracy_orig": report.accuracy_orig,
+            "accuracy_prop": report.accuracy_prop,
+            "power_opt_orig_mw": report.power_opt_orig.total_uw / 1000,
+            "power_opt_prop_vs_mw":
+                report.power_opt_prop_vs.total_uw / 1000,
+            "reduction_opt_pct": report.reduction_opt,
+            "n_weights": report.n_selected_weights,
+            "n_activations": report.n_selected_activations,
+            "delay_reduction_ps": report.max_delay_reduction_ps,
+        },
+        "skipped": None,
+    }
+
+
+def _point_fig8(point: SweepPoint, context: ExperimentContext
+                ) -> Dict[str, Any]:
+    from repro.nn.restrict import WeightRestriction
+
+    table = context.power_table
+    model = context.reset_model()
+    if point.threshold is None:
+        allowed = table.weights.copy()
+        accuracy = context.accuracy_pruned
+    else:
+        allowed = table.select_below(point.threshold)
+        if allowed.size < 2:
+            return {"payload": None, "metrics": {},
+                    "skipped": f"only {allowed.size} weight value(s) at "
+                               f"or below {point.threshold:g} uW"}
+        model.set_weight_restriction(WeightRestriction(allowed))
+        accuracy = context.retrain(model)
+    __, power_opt = context.measure_power(model)
+    return {
+        "payload": {
+            "threshold_uw": point.threshold,
+            "n_weights": int(allowed.size),
+            "accuracy": accuracy,
+            "power_opt": power_opt,
+        },
+        "metrics": {
+            "accuracy": accuracy,
+            "n_weights": int(allowed.size),
+            "power_opt_mw": power_opt.total_uw / 1000,
+            "power_dyn_mw": power_opt.dynamic_uw / 1000,
+            "power_leak_mw": power_opt.leakage_uw / 1000,
+        },
+        "skipped": None,
+    }
+
+
+def _point_fig9(point: SweepPoint, context: ExperimentContext
+                ) -> Dict[str, Any]:
+    from repro.nn.restrict import ActivationFilter, WeightRestriction
+    from repro.timing.selection import DelaySelector
+
+    power_table = context.power_table
+    candidates = power_table.select_below(
+        fig9_weight_threshold(point.spec, point.scale))
+    timing_table = context.timing_table(candidates)
+    selector = DelaySelector(timing_table,
+                             n_restarts=context.config.n_restarts)
+    selection = selector.select(point.threshold,
+                                candidate_weights=candidates,
+                                seed=point.seed)
+    if selection.n_weights < 2:
+        return {"payload": None, "metrics": {},
+                "skipped": f"only {selection.n_weights} weight value(s) "
+                           f"survive {point.threshold:g} ps"}
+    model = context.reset_model()
+    model.set_weight_restriction(WeightRestriction(selection.weights))
+    model.set_activation_filter(ActivationFilter(selection.activations))
+    accuracy = context.retrain(model)
+    return {
+        "payload": {
+            "threshold_ps": point.threshold,
+            "n_weights": selection.n_weights,
+            "n_activations": selection.n_activations,
+            "accuracy": accuracy,
+        },
+        "metrics": {
+            "accuracy": accuracy,
+            "n_weights": selection.n_weights,
+            "n_activations": selection.n_activations,
+        },
+        "skipped": None,
+    }
+
+
+#: Registered per-point runners; the mapping's keys are the valid sweep
+#: experiments (tests may register synthetic ones).
+_POINT_RUNNERS: Dict[str, Callable[[SweepPoint, ExperimentContext],
+                                   Dict[str, Any]]] = {
+    "table1": _point_table1,
+    "fig8": _point_fig8,
+    "fig9": _point_fig9,
+}
+
+
+def sweep_experiments() -> Tuple[str, ...]:
+    """Experiments the sweep engine can run."""
+    return tuple(sorted(_POINT_RUNNERS))
+
+
+def _execute_point(point: SweepPoint, context: ExperimentContext
+                   ) -> SweepRow:
+    """Run (or fetch) one grid point through the artifact store."""
+    runner = _POINT_RUNNERS[point.experiment]
+    outcome = context.store.get_or_compute(
+        point_cache_key(point, context.config),
+        lambda: runner(point, context))
+    return SweepRow(
+        experiment=point.experiment,
+        backend_id=point.backend.backend_id,
+        network=point.spec.label,
+        threshold=point.threshold,
+        seed=point.seed,
+        scale=point.scale,
+        payload=outcome["payload"],
+        metrics=dict(outcome["metrics"]),
+        skipped=outcome["skipped"],
+    )
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point plus worker-side context knobs (picklable)."""
+
+    point: SweepPoint
+    cache_dir: Optional[str]
+    char_jobs: int
+    verbose: bool
+
+    def describe(self) -> str:
+        return self.point.describe()
+
+
+def _run_point(task: PointTask) -> SweepRow:
+    point = task.point
+    context = ExperimentContext(point.spec, point.scale,
+                                seed=point.seed, verbose=task.verbose,
+                                cache_dir=task.cache_dir,
+                                backend=point.backend,
+                                char_jobs=task.char_jobs)
+    return _execute_point(point, context)
+
+
+def _scheduled_order(points: Sequence[SweepPoint]) -> List[int]:
+    """Round-robin permutation across (backend, network, seed) groups.
+
+    Contiguous same-prefix points would make parallel workers race to
+    compute the same training prefix; interleaving the groups lets each
+    worker warm a different prefix, after which the remaining points of
+    every group are cache hits.
+    """
+    groups: Dict[Tuple, List[int]] = {}
+    for index, point in enumerate(points):
+        group = (point.backend.backend_id, point.spec.label, point.seed,
+                 point.scale)
+        groups.setdefault(group, []).append(index)
+    queues = list(groups.values())
+    order: List[int] = []
+    while queues:
+        queues = [q for q in queues if q]
+        for queue in queues:
+            if queue:
+                order.append(queue.pop(0))
+    return order
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """All grid rows (expansion order) plus cache statistics."""
+
+    sweep: SweepSpec
+    rows: List[SweepRow]
+    #: Artifact-store counters; populated for in-process (serial) runs,
+    #: ``None`` when workers owned their stores.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    shared_prefixes: int = 0
+
+    def rows_for(self, backend_id: Optional[str] = None,
+                 network: Optional[str] = None,
+                 seed: Optional[int] = None) -> List[SweepRow]:
+        return [row for row in self.rows
+                if (backend_id is None or row.backend_id == backend_id)
+                and (network is None or row.network == network)
+                and (seed is None or row.seed == seed)]
+
+    def tidy(self) -> List[Dict[str, Any]]:
+        """One flat dict per grid point — ready for CSV/dataframes."""
+        records = []
+        for row in self.rows:
+            record: Dict[str, Any] = {
+                "experiment": row.experiment,
+                "backend": row.backend_id,
+                "network": row.network,
+                "threshold": row.threshold,
+                "seed": row.seed,
+                "scale": row.scale,
+                "skipped": row.skipped or "",
+            }
+            record.update(row.metrics)
+            records.append(record)
+        return records
+
+    def write_csv(self, path) -> None:
+        records = self.tidy()
+        columns: List[str] = []
+        for record in records:
+            for name in record:
+                if name not in columns:
+                    columns.append(name)
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns,
+                                    restval="")
+            writer.writeheader()
+            writer.writerows(records)
+
+
+def _threshold_label(threshold: Optional[float]) -> str:
+    return "None" if threshold is None else f"{threshold:g}"
+
+
+def _series_label(row: SweepRow, many_seeds: bool) -> str:
+    return (f"{row.backend_id} s{row.seed}" if many_seeds
+            else row.backend_id)
+
+
+def _format_cell(value: float, fmt: str, scale: float) -> str:
+    scaled = value * scale
+    if fmt.endswith("d"):
+        return format(int(round(scaled)), fmt)
+    return format(scaled, fmt)
+
+
+def _metric_matrix(rows: Sequence[SweepRow], metric: str, title: str,
+                   fmt: str, scale: float = 1.0) -> List[str]:
+    """Per-backend overlay: one line per backend (series), one column
+    per threshold — the figure panel as a text chart."""
+    thresholds = list(dict.fromkeys(row.threshold for row in rows))
+    many_seeds = len({row.seed for row in rows}) > 1
+    series = list(dict.fromkeys(_series_label(row, many_seeds)
+                                for row in rows))
+    width = max(8, max(len(_threshold_label(t)) for t in thresholds) + 2)
+    label_width = max(len(s) for s in series)
+    lines = [title,
+             " " * label_width + " |" + "".join(
+                 f"{_threshold_label(t):>{width}}" for t in thresholds)]
+    for name in series:
+        cells = []
+        for threshold in thresholds:
+            cell = "-"
+            for row in rows:
+                if (_series_label(row, many_seeds) == name
+                        and row.threshold == threshold):
+                    if row.skipped is None and metric in row.metrics:
+                        cell = _format_cell(row.metrics[metric], fmt,
+                                            scale)
+                    break
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{name:<{label_width}} |" + "".join(cells))
+    return lines
+
+
+_DETAIL_COLUMNS: Dict[str, List[Tuple[str, str, str, float]]] = {
+    # metric key, column header, format, display scale
+    "fig8": [("accuracy", "acc[%]", ".1f", 100.0),
+             ("n_weights", "#weights", "d", 1.0),
+             ("power_opt_mw", "OptHW[mW]", ".1f", 1.0)],
+    "fig9": [("accuracy", "acc[%]", ".1f", 100.0),
+             ("n_weights", "#weights", "d", 1.0),
+             ("n_activations", "#acts", "d", 1.0)],
+    "table1": [("accuracy_orig", "acc.orig[%]", ".1f", 100.0),
+               ("accuracy_prop", "acc.prop[%]", ".1f", 100.0),
+               ("power_opt_orig_mw", "OptHW.orig", ".1f", 1.0),
+               ("power_opt_prop_vs_mw", "OptHW.prop", ".1f", 1.0),
+               ("reduction_opt_pct", "red[%]", ".1f", 1.0),
+               ("delay_reduction_ps", "dly.red[ps]", ".0f", 1.0)],
+}
+
+#: The headline metric charted per experiment.
+_PRIMARY_METRIC: Dict[str, Tuple[str, str, str, float]] = {
+    "fig8": ("accuracy", "accuracy[%]", ".1f", 100.0),
+    "fig9": ("accuracy", "accuracy[%]", ".1f", 100.0),
+    "table1": ("accuracy_prop", "proposed accuracy[%]", ".1f", 100.0),
+}
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Combined per-backend result table plus overlay chart."""
+    sweep = result.sweep
+    columns = _DETAIL_COLUMNS[sweep.experiment]
+    lines = [f"=== sweep: {sweep.describe()} "
+             f"({len(result.rows)} grid points) ==="]
+    for spec in sweep.networks:
+        rows = result.rows_for(network=spec.label)
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"--- {spec.label} ---")
+        header = (f"{'backend':<18} {'seed':>4} {'thr':>8} "
+                  + " ".join(f"{title:>12}"
+                             for __, title, __, __ in columns))
+        lines.append(header)
+        for row in rows:
+            cells = []
+            for metric, __, fmt, scale in columns:
+                if row.skipped is not None or metric not in row.metrics:
+                    cells.append(f"{'-':>12}")
+                else:
+                    cells.append(
+                        f"{_format_cell(row.metrics[metric], fmt, scale):>12}")
+            line = (f"{row.backend_id:<18} {row.seed:>4} "
+                    f"{_threshold_label(row.threshold):>8} "
+                    + " ".join(cells))
+            if row.skipped is not None:
+                line += f"   (skipped: {row.skipped})"
+            lines.append(line)
+        if len(sweep.thresholds) > 1:
+            metric, title, fmt, scale = _PRIMARY_METRIC[sweep.experiment]
+            lines.append("")
+            lines.extend(_metric_matrix(
+                rows, metric,
+                f"{title} by backend x threshold:", fmt, scale))
+    if result.cache_hits is not None:
+        lines.append("")
+        lines.append(f"artifact cache: {result.cache_hits} hits, "
+                     f"{result.cache_misses} misses "
+                     f"({result.shared_prefixes} distinct training "
+                     f"prefix(es) across {len(result.rows)} points)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
+              cache_dir=None, char_jobs: int = 1,
+              verbose: bool = False,
+              store: Optional[ArtifactStore] = None) -> SweepResult:
+    """Expand a sweep grid and run every point, sharing all caches.
+
+    Args:
+        sweep: The (normalized) grid declaration.
+        jobs: Processes for independent grid points (``None``/``0`` =
+            all cores, as in :func:`~repro.experiments.parallel
+            .parallel_map`).  Serial runs share one in-process artifact
+            store across all points, so the training prefix of each
+            (backend, network, seed) group is computed exactly once
+            even without ``cache_dir``.
+        cache_dir: On-disk artifact cache shared across points, runs
+            and workers; with ``jobs > 1`` this is what deduplicates
+            the shared stage prefixes between workers (a run-scoped
+            scratch cache is used when omitted, so parallel grids
+            never recompute a shared prefix per point).
+        char_jobs: Processes each point spends sharding its per-weight
+            power/timing characterization (useful for grids whose
+            point count is smaller than the core count).
+        verbose: Log stage execution.
+        store: An existing in-process store to share (serial runs
+            only); overrides ``cache_dir``.
+    """
+    if sweep.experiment not in _POINT_RUNNERS:
+        raise ValueError(f"unknown sweep experiment "
+                         f"{sweep.experiment!r}; choose from "
+                         f"{sweep_experiments()}")
+    points = expand(sweep)
+    order = _scheduled_order(points)
+    cache = str(cache_dir) if cache_dir is not None else None
+
+    # Same contract as parallel_map: None/0 = all cores.
+    effective = default_jobs() if jobs in (None, 0) else jobs
+    effective = max(1, min(effective, len(points)))
+    if effective > 1 and store is not None:
+        raise ValueError(
+            "an in-process store cannot be shared across worker "
+            "processes; pass cache_dir instead (or jobs=1)")
+
+    scratch = None
+    if effective > 1 and cache is None and len(points) > 1:
+        # Workers can only share stage artifacts through disk; without
+        # a cache every grid point would recompute its whole training
+        # prefix.  A run-scoped scratch cache restores the sharing.
+        import tempfile
+
+        scratch = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        cache = scratch.name
+
+    rows: List[Optional[SweepRow]] = [None] * len(points)
+    if effective == 1:
+        shared = store if store is not None else ArtifactStore(cache)
+        hits_before, misses_before = shared.hits, shared.misses
+        for index in order:
+            point = points[index]
+            context = ExperimentContext(
+                point.spec, point.scale, seed=point.seed,
+                verbose=verbose, store=shared, backend=point.backend,
+                char_jobs=char_jobs)
+            try:
+                rows[index] = _execute_point(point, context)
+            except ParallelTaskError:
+                raise
+            except Exception as error:
+                raise ParallelTaskError(
+                    f"sweep point failed: {point.describe()}"
+                ) from error
+        cache_hits = shared.hits - hits_before
+        cache_misses = shared.misses - misses_before
+    else:
+        tasks = [PointTask(points[index], cache, char_jobs, verbose)
+                 for index in order]
+        try:
+            shuffled = parallel_map(_run_point, tasks, jobs=effective)
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+        for slot, index in enumerate(order):
+            rows[index] = shuffled[slot]
+        cache_hits = cache_misses = None
+
+    return SweepResult(sweep=sweep, rows=list(rows),
+                       cache_hits=cache_hits, cache_misses=cache_misses,
+                       shared_prefixes=shared_prefix_count(points))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parse_threshold(text: str) -> Optional[float]:
+    if text.lower() == "none":
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"threshold must be a number or 'none', got {text!r}"
+        ) from None
+
+
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro sweep ...`` — the declarative grid CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a declarative experiment sweep over "
+                    "backends x networks x thresholds x seeds",
+        epilog="Example: python -m repro sweep --experiment fig8 "
+               "--backend nangate15-booth --backend nangate15-array "
+               "--scale smoke --jobs 2 --cache-dir .sweep-cache",
+    )
+    parser.add_argument("--experiment",
+                        choices=sweep_experiments(),
+                        help="grid experiment (required unless --spec "
+                             "provides one)")
+    parser.add_argument("--spec", metavar="FILE",
+                        help="JSON/TOML sweep spec; explicit flags "
+                             "override its entries")
+    parser.add_argument("--backend", action="append", metavar="ID",
+                        help="hardware backend; repeat for an overlay "
+                             f"(default: {DEFAULT_BACKEND_ID})")
+    parser.add_argument("--network", action="append", metavar="NAME",
+                        help="network name or Table I label; repeatable "
+                             "(default: lenet5)")
+    parser.add_argument("--threshold", action="append", metavar="X",
+                        type=_parse_threshold,
+                        help="power [uW] (fig8; 'none' = unrestricted) "
+                             "or delay [ps] (fig9) threshold; "
+                             "repeatable (default: the paper's sweep)")
+    parser.add_argument("--seed", action="append", type=int, metavar="N",
+                        help="pipeline seed; repeatable (default: 0)")
+    parser.add_argument("--scale", default=None,
+                        choices=("smoke", "ci", "paper"),
+                        help="experiment scale (default: ci)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="processes for independent grid points "
+                             "(0 = all cores; default: 1)")
+    parser.add_argument("--char-jobs", type=int, default=1, metavar="N",
+                        help="processes each point spends sharding "
+                             "per-weight characterization (default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk artifact cache shared across "
+                             "points, runs and workers")
+    parser.add_argument("--csv", default=None, metavar="FILE",
+                        help="also write the tidy per-point table as "
+                             "CSV")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.spec is not None:
+            base = load_sweep_file(args.spec)
+            sweep = make_sweep_spec(
+                args.experiment or base.experiment,
+                backends=args.backend or base.backends,
+                networks=args.network or base.networks,
+                thresholds=(tuple(args.threshold) if args.threshold
+                            else base.thresholds),
+                seeds=args.seed or base.seeds,
+                scale=args.scale or base.scale,
+            )
+        else:
+            if args.experiment is None:
+                parser.error("--experiment is required "
+                             "(or provide it via --spec FILE)")
+            sweep = make_sweep_spec(
+                args.experiment,
+                backends=args.backend,
+                networks=args.network,
+                thresholds=(tuple(args.threshold) if args.threshold
+                            else None),
+                seeds=args.seed,
+                scale=args.scale or "ci",
+            )
+        for backend in sweep.backends:
+            if isinstance(backend, str):
+                get_backend(backend)  # fail fast on typos
+    except ValueError as error:
+        parser.error(str(error))
+
+    result = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir,
+                       char_jobs=args.char_jobs)
+    print(format_sweep(result))
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"tidy table written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(cli_main())

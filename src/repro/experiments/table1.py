@@ -2,6 +2,12 @@
 
 Runs the full PowerPruning pipeline for the four network/dataset pairs
 and prints our Table I next to the paper's published row values.
+
+This module is a thin adapter over the declarative sweep engine
+(:mod:`repro.experiments.sweep`): the grid expansion, process pool,
+stage-cache sharing and per-point caching all live there.  Use
+``python -m repro sweep --experiment table1`` for multi-backend or
+multi-seed grids.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.report import PowerPruningReport, format_table1
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
-from repro.experiments.parallel import run_table1_rows
+from repro.experiments.sweep import make_sweep_spec, run_sweep
 from repro.hw import DEFAULT_BACKEND_ID
 
 #: The paper's Table I, for side-by-side reporting.
@@ -58,9 +64,11 @@ def run(scale: str = "ci",
     artifact cache between rows, runs and workers.  ``backend``
     selects the hardware backend all rows characterize against.
     """
-    return run_table1_rows(specs, scale=scale, jobs=jobs,
-                           cache_dir=cache_dir, verbose=verbose,
-                           backend=backend)
+    sweep = make_sweep_spec("table1", backends=(backend,),
+                            networks=specs, scale=scale)
+    result = run_sweep(sweep, jobs=jobs, cache_dir=cache_dir,
+                       verbose=verbose)
+    return [row.payload for row in result.rows]
 
 
 def format_with_reference(reports: List[PowerPruningReport]) -> str:

@@ -12,6 +12,7 @@ from repro.timing.profile import (
     MacTimingModel,
     WeightDelayProfiler,
     WeightTimingTable,
+    timing_seed_sequence,
 )
 from repro.timing.selection import DelaySelector, SelectionResult
 
@@ -22,4 +23,5 @@ __all__ = [
     "WeightTimingTable",
     "DelaySelector",
     "SelectionResult",
+    "timing_seed_sequence",
 ]

@@ -13,10 +13,22 @@ The MAC delay for one transition is then
 exactly the Fig. 5 composition.  A global ``time_scale`` pins the largest
 sensitized delay across all weights to the paper's 180 ps post-synthesis
 clock.
+
+At reduced scales only a subsample of the 2^16 activation transitions is
+applied per weight.  Each weight draws its subsample from its own child
+RNG keyed on ``(seed, weight)``, which makes the characterized table
+independent of the characterization order and lets
+``WeightTimingTable.characterize(..., jobs=N)`` shard the per-weight
+dynamic timing analyses across processes with bit-for-bit identical
+results (the global calibration happens after the shards merge) —
+mirroring the sharded power characterization in
+:mod:`repro.power.characterization`.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -34,6 +46,27 @@ from repro.sim.static_timing import input_bus_delays
 
 #: Post-synthesis critical path of the paper's MAC unit.
 ANCHOR_MAX_DELAY_PS = 180.0
+
+#: Domain tag separating the timing stimulus stream from the power one
+#: (:func:`repro.power.characterization.weight_seed_sequence`), so the
+#: two characterizations of a weight never correlate.
+_TIMING_STREAM = 0x7119
+
+
+def timing_seed_sequence(seed: int, weight: int
+                         ) -> np.random.SeedSequence:
+    """One independent RNG seed per (seed, weight) timing subsample.
+
+    Keyed on the *weight value* rather than its position in the
+    characterization order, so the transitions drawn for a weight are
+    identical no matter which other weights are characterized, in what
+    order, or how the weight set is chunked across processes — the
+    property the sharded timing characterization relies on for
+    bit-for-bit equality with a serial run.
+    """
+    return np.random.SeedSequence(
+        [int(seed) & 0xFFFFFFFF, int(weight) & 0xFFFFFFFF,
+         _TIMING_STREAM])
 
 
 class MacTimingModel:
@@ -155,6 +188,14 @@ class WeightDelayProfiler:
         act_from, act_to = np.meshgrid(values, values, indexing="ij")
         return act_from.ravel(), act_to.ravel()
 
+    def sampled_transitions(self, n: int, rng: np.random.Generator
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """``n`` transitions drawn without replacement from the full set."""
+        act_from, act_to = self.all_transitions()
+        chosen = rng.choice(act_from.size, size=min(int(n), act_from.size),
+                            replace=False)
+        return act_from[chosen], act_to[chosen]
+
     def profile(self, weight: int,
                 transitions: Optional[Tuple[np.ndarray, np.ndarray]] = None,
                 ) -> DelayProfile:
@@ -165,6 +206,47 @@ class WeightDelayProfiler:
         delays = self.delays(weight, act_from, act_to)
         return DelayProfile(weight=weight, act_from=act_from,
                             act_to=act_to, delays_ps=delays)
+
+
+def _weight_transitions(profiler: WeightDelayProfiler, weight: int,
+                        transitions: Optional[Tuple[np.ndarray,
+                                                    np.ndarray]],
+                        n_transitions: Optional[int],
+                        seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The activation transitions one weight is profiled under.
+
+    An explicit ``transitions`` pair is shared by every weight (the
+    legacy, fully caller-controlled path); otherwise ``n_transitions``
+    selects a per-weight subsample from the weight's own child RNG, and
+    ``None`` enumerates all 2^16 pairs as in the paper.
+    """
+    if transitions is not None:
+        return transitions
+    if n_transitions is None:
+        return profiler.all_transitions()
+    rng = np.random.default_rng(timing_seed_sequence(seed, weight))
+    return profiler.sampled_transitions(n_transitions, rng)
+
+
+def _profile_chunk(task: Tuple[WeightDelayProfiler, np.ndarray,
+                               Optional[Tuple[np.ndarray, np.ndarray]],
+                               Optional[int], int]
+                   ) -> List[Tuple[int, np.ndarray, np.ndarray,
+                                   np.ndarray]]:
+    """Worker entry point for sharded characterization (picklable).
+
+    Returns raw (uncalibrated) ``(weight, act_from, act_to, delays)``
+    records; each record is a pure function of ``(seed, weight)``, so
+    chunk boundaries cannot influence the merged table.
+    """
+    profiler, weights, transitions, n_transitions, seed = task
+    records = []
+    for weight in weights:
+        act_from, act_to = _weight_transitions(
+            profiler, int(weight), transitions, n_transitions, seed)
+        delays = profiler.delays(int(weight), act_from, act_to)
+        records.append((int(weight), act_from, act_to, delays))
+    return records
 
 
 @dataclass
@@ -252,36 +334,61 @@ class WeightTimingTable:
                          Tuple[np.ndarray, np.ndarray]] = None,
                      floor_ps: float = 100.0,
                      calibrate_to_ps: Optional[float] = ANCHOR_MAX_DELAY_PS,
-                     ) -> "WeightTimingTable":
+                     n_transitions: Optional[int] = None,
+                     seed: int = 0,
+                     jobs: Optional[int] = 1) -> "WeightTimingTable":
         """Profile ``weights`` and build the sparse table.
 
         Args:
             profiler: The per-weight DTA engine.
             weights: Weight values to profile (default: all 255 symmetric
                 8-bit values).
-            transitions: Activation transitions to apply (default: the
-                full 2^16 enumeration, as in the paper).
+            transitions: Explicit activation transitions, shared by every
+                weight (overrides ``n_transitions``).
             floor_ps: Keep only combos slower than this (after
                 calibration); must be below the smallest delay threshold
                 the selection will use.
             calibrate_to_ps: Pin the global maximum delay to this value
                 (``None`` keeps raw library delays).
+            n_transitions: Subsample this many of the 2^16 transitions
+                *per weight*, each weight drawing from its own child RNG
+                keyed on ``(seed, weight)`` — independent of ordering,
+                chunking, and of which other weights are in the set.
+                ``None`` (and no explicit ``transitions``) enumerates
+                all 2^16 pairs, as in the paper.
+            seed: Base seed for the per-weight transition subsampling.
+            jobs: Shard the per-weight analyses over this many processes
+                (``None``/``1`` = serial, ``0`` = all cores).  Per-weight
+                profiles are pure functions of ``(seed, weight)`` and the
+                calibration runs after the shards merge, so the sharded
+                table is bit-for-bit identical to the serial one — which
+                is why ``jobs`` must never participate in cache keys.
         """
         mac = profiler.mac
         if weights is None:
             half = 1 << (mac.weight_bits - 1)
             weights = range(-half + 1, half)
         weights = np.asarray(sorted(set(int(w) for w in weights)))
-        if transitions is None:
-            transitions = profiler.all_transitions()
-        act_from, act_to = transitions
 
-        max_delays = np.empty(weights.size, dtype=np.float64)
-        slow: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-        for i, weight in enumerate(weights):
-            delays = profiler.delays(int(weight), act_from, act_to)
-            max_delays[i] = delays.max()
-            slow.append((int(weight), act_from, act_to, delays))
+        if jobs is None:
+            jobs = 1
+        elif jobs == 0:
+            jobs = os.cpu_count() or 1
+        jobs = max(1, min(jobs, weights.size))
+        if jobs == 1:
+            slow = _profile_chunk(
+                (profiler, weights, transitions, n_transitions, seed))
+        else:
+            chunks = np.array_split(weights, jobs)
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                parts = list(pool.map(
+                    _profile_chunk,
+                    [(profiler, chunk, transitions, n_transitions, seed)
+                     for chunk in chunks]))
+            slow = [record for part in parts for record in part]
+
+        max_delays = np.array([delays.max()
+                               for __, __, __, delays in slow])
 
         time_scale = 1.0
         if calibrate_to_ps is not None and max_delays.max() > 0:

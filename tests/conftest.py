@@ -1,0 +1,15 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def smoke_cache_dir(tmp_path_factory):
+    """One on-disk artifact cache shared by every smoke-scale test.
+
+    The golden-regression and sweep-engine suites all run the same
+    LeNet-5 smoke pipeline; pointing them at a session-wide cache
+    directory makes the expensive training/characterization prefix run
+    once for the whole session instead of once per test module.
+    """
+    return tmp_path_factory.mktemp("smoke-artifact-cache")

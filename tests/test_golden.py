@@ -1,0 +1,191 @@
+"""Golden-result regression suite.
+
+Recomputes smoke-scale reference results — a Table I row plus fig8/fig9
+curve points per backend — and compares them against the committed JSON
+files under ``tests/golden/``.  Any refactor that silently drifts the
+pipeline's numerics (RNG restructuring, stage reordering, calibration
+changes) fails here with a field-level diff instead of shipping wrong
+curves.
+
+Tolerances (see ``_assert_close``): integer counts and selected
+thresholds must match exactly; accuracies may move by at most three
+test samples (smoke scale evaluates 200, so 0.015); remaining floats by
+0.5% — wide enough to absorb cross-platform BLAS noise, narrow enough
+that any real algorithmic change trips it.
+
+When a numeric change is *intentional*, regenerate the references and
+commit them together with the change::
+
+    PYTHONPATH=src python tests/test_golden.py --regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.sweep import make_sweep_spec, run_sweep
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SCALE = "smoke"
+NETWORK = "lenet5"
+SEED = 0
+
+FIG8_BACKENDS = ("nangate15-booth", "nangate15-array")
+FIG8_THRESHOLDS = (None, 900.0, 825.0)
+FIG9_BACKENDS = ("nangate15-booth",)
+FIG9_THRESHOLDS = (180.0, 160.0, 150.0)
+
+#: Accuracy tolerance: three samples of the 200-image smoke test set.
+ACCURACY_ATOL = 0.015
+#: Relative tolerance for power/delay floats.
+FLOAT_RTOL = 5e-3
+
+
+# ----------------------------------------------------------------------
+# reference computation (shared with --regenerate)
+# ----------------------------------------------------------------------
+def compute_table1(cache_dir):
+    """Headline metrics of the smoke-scale LeNet-5 Table I row."""
+    sweep = make_sweep_spec("table1", networks=(NETWORK,),
+                            seeds=(SEED,), scale=SCALE)
+    report = run_sweep(sweep, cache_dir=cache_dir).rows[0].payload
+    return {
+        "accuracy_orig": report.accuracy_orig,
+        "accuracy_prop": report.accuracy_prop,
+        "power_std_orig_mw": report.power_std_orig.total_uw / 1000,
+        "power_std_prop_vs_mw": report.power_std_prop_vs.total_uw / 1000,
+        "power_opt_orig_mw": report.power_opt_orig.total_uw / 1000,
+        "power_opt_prop_mw": report.power_opt_prop.total_uw / 1000,
+        "power_opt_prop_vs_mw": report.power_opt_prop_vs.total_uw / 1000,
+        "reduction_opt_pct": report.reduction_opt,
+        "n_weights": report.n_selected_weights,
+        "n_activations": report.n_selected_activations,
+        "delay_reduction_ps": report.max_delay_reduction_ps,
+        "voltage": report.voltage_label,
+        "power_threshold_uw": report.power_threshold_uw,
+        "delay_threshold_ps": report.delay_threshold_ps,
+    }
+
+
+def _curves(sweep_result):
+    """Sweep rows as ``{backend: [point dict, ...]}``."""
+    curves = {}
+    for row in sweep_result.rows:
+        points = curves.setdefault(row.backend_id, [])
+        if row.skipped is not None:
+            points.append({"threshold": row.threshold,
+                           "skipped": row.skipped})
+        else:
+            points.append({"threshold": row.threshold,
+                           **{k: v for k, v in row.metrics.items()}})
+    return curves
+
+
+def compute_fig8(cache_dir):
+    """Fig. 8 curve points per backend (smoke-scale LeNet-5)."""
+    sweep = make_sweep_spec("fig8", backends=FIG8_BACKENDS,
+                            networks=(NETWORK,),
+                            thresholds=FIG8_THRESHOLDS,
+                            seeds=(SEED,), scale=SCALE)
+    return _curves(run_sweep(sweep, cache_dir=cache_dir))
+
+
+def compute_fig9(cache_dir):
+    """Fig. 9 curve points per backend (smoke-scale LeNet-5)."""
+    sweep = make_sweep_spec("fig9", backends=FIG9_BACKENDS,
+                            networks=(NETWORK,),
+                            thresholds=FIG9_THRESHOLDS,
+                            seeds=(SEED,), scale=SCALE)
+    return _curves(run_sweep(sweep, cache_dir=cache_dir))
+
+
+GOLDENS = {
+    "table1_lenet5_smoke.json": compute_table1,
+    "fig8_lenet5_smoke.json": compute_fig8,
+    "fig9_lenet5_smoke.json": compute_fig9,
+}
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def _assert_close(path, got, want):
+    field = path.rsplit(".", 1)[-1]
+    if want is None or isinstance(want, (str, bool)):
+        assert got == want, f"{path}: {got!r} != {want!r}"
+    elif field.startswith("n_") or field == "skipped":
+        assert got == want, f"{path}: {got!r} != {want!r}"
+    elif "accuracy" in field:
+        assert got == pytest.approx(want, abs=ACCURACY_ATOL), \
+            f"{path}: {got!r} != {want!r} (±{ACCURACY_ATOL})"
+    else:
+        assert got == pytest.approx(want, rel=FLOAT_RTOL), \
+            f"{path}: {got!r} != {want!r} (rel {FLOAT_RTOL})"
+
+
+def _assert_matches(path, got, want):
+    if isinstance(want, dict):
+        assert isinstance(got, dict), f"{path}: expected mapping"
+        assert sorted(got) == sorted(want), \
+            f"{path}: keys {sorted(got)} != {sorted(want)}"
+        for key in want:
+            _assert_matches(f"{path}.{key}", got[key], want[key])
+    elif isinstance(want, list):
+        assert isinstance(got, list), f"{path}: expected list"
+        assert len(got) == len(want), \
+            f"{path}: {len(got)} entries != {len(want)}"
+        for index, (g, w) in enumerate(zip(got, want)):
+            _assert_matches(f"{path}[{index}]", g, w)
+    else:
+        _assert_close(path, got, want)
+
+
+def _load_golden(name):
+    path = GOLDEN_DIR / name
+    if not path.is_file():
+        pytest.fail(
+            f"missing golden reference {path}; regenerate with "
+            f"'PYTHONPATH=src python tests/test_golden.py --regenerate'")
+    return json.loads(path.read_text())
+
+
+@pytest.mark.slow
+class TestGoldenResults:
+    def test_table1_row_matches_golden(self, smoke_cache_dir):
+        _assert_matches("table1", compute_table1(smoke_cache_dir),
+                        _load_golden("table1_lenet5_smoke.json"))
+
+    def test_fig8_curves_match_golden(self, smoke_cache_dir):
+        _assert_matches("fig8", compute_fig8(smoke_cache_dir),
+                        _load_golden("fig8_lenet5_smoke.json"))
+
+    def test_fig9_curves_match_golden(self, smoke_cache_dir):
+        _assert_matches("fig9", compute_fig9(smoke_cache_dir),
+                        _load_golden("fig9_lenet5_smoke.json"))
+
+
+def regenerate(cache_dir=None) -> None:
+    """Recompute every golden file and write it under tests/golden/."""
+    import tempfile
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as scratch:
+        cache = cache_dir or scratch
+        for name, compute in GOLDENS.items():
+            payload = compute(cache)
+            path = GOLDEN_DIR / name
+            path.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        cache = next((a for a in sys.argv[1:]
+                      if not a.startswith("--")), None)
+        regenerate(cache)
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -1,0 +1,402 @@
+"""Tests for the declarative sweep engine and parallel error naming."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.artifacts import ArtifactStore
+from repro.core.stages import shared_stage_keys
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.config import NETWORK_SPECS
+from repro.experiments.parallel import ParallelTaskError, parallel_map
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.sweep import (
+    SHARED_PREFIX_STAGES,
+    SweepSpec,
+    expand,
+    fig9_weight_threshold,
+    load_sweep_file,
+    make_sweep_spec,
+    point_cache_key,
+    point_config,
+    resolve_network,
+    run_sweep,
+    shared_prefix_count,
+    sweep_experiments,
+)
+from repro.hw import DEFAULT_BACKEND_ID, list_backends
+
+
+class TestMakeSweepSpec:
+    def test_experiments_registered(self):
+        assert set(sweep_experiments()) >= {"table1", "fig8", "fig9"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep experiment"):
+            make_sweep_spec("fig12")
+
+    def test_table1_has_no_threshold_axis(self):
+        assert make_sweep_spec("table1").thresholds == (None,)
+        with pytest.raises(ValueError, match="no threshold axis"):
+            make_sweep_spec("table1", thresholds=(800.0,))
+
+    def test_fig9_thresholds_sorted_descending_and_numeric(self):
+        spec = make_sweep_spec("fig9",
+                               thresholds=(150.0, 180.0, 160.0, 180.0))
+        assert spec.thresholds == (180.0, 160.0, 150.0)
+        with pytest.raises(ValueError, match="must be numbers"):
+            make_sweep_spec("fig9", thresholds=(None, 160.0))
+
+    def test_fig8_keeps_given_order_dedupes_and_allows_none(self):
+        spec = make_sweep_spec("fig8",
+                               thresholds=(None, 900.0, 900, 850.0))
+        assert spec.thresholds == (None, 900.0, 850.0)
+
+    def test_network_resolution_by_name_label_and_spec(self):
+        by_name = resolve_network("lenet5")
+        by_label = resolve_network("LeNet-5-CIFAR-10")
+        assert by_name is by_label is NETWORK_SPECS[0]
+        assert resolve_network(NETWORK_SPECS[2]) is NETWORK_SPECS[2]
+        with pytest.raises(ValueError, match="unknown network"):
+            resolve_network("alexnet")
+
+    def test_axes_deduplicated_preserving_order(self):
+        spec = make_sweep_spec(
+            "fig8",
+            backends=("nangate15-array", "nangate15-booth",
+                      "nangate15-array"),
+            networks=("resnet20", "lenet5", "resnet20"),
+            seeds=(3, 0, 3))
+        assert spec.backends == ("nangate15-array", "nangate15-booth")
+        assert [n.network for n in spec.networks] == ["resnet20",
+                                                      "lenet5"]
+        assert spec.seeds == (3, 0)
+
+    def test_defaults(self):
+        spec = make_sweep_spec("fig8")
+        assert spec.backends == (DEFAULT_BACKEND_ID,)
+        assert spec.networks == (NETWORK_SPECS[0],)
+        assert spec.seeds == (0,)
+        assert spec.scale == "ci"
+
+
+class TestLoadSweepFile:
+    def test_json_with_none_strings_and_nulls(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "experiment": "fig8",
+            "backends": ["nangate15-booth", "nangate15-array"],
+            "networks": ["lenet5"],
+            "thresholds": [None, "none", 900.0],
+            "seeds": [0, 1],
+            "scale": "smoke",
+        }))
+        spec = load_sweep_file(path)
+        assert spec.experiment == "fig8"
+        assert spec.thresholds == (None, 900.0)
+        assert spec.seeds == (0, 1)
+        assert spec.scale == "smoke"
+
+    def test_toml(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'experiment = "fig9"\n'
+            'backends = ["nangate15-booth"]\n'
+            'thresholds = [160.0, 180.0]\n'
+        )
+        spec = load_sweep_file(path)
+        assert spec.experiment == "fig9"
+        assert spec.thresholds == (180.0, 160.0)
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"experiment": "fig8",
+                                    "treshold": [900]}))
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            load_sweep_file(path)
+
+    def test_experiment_required(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"backends": ["nangate15-booth"]}))
+        with pytest.raises(ValueError, match="'experiment' key"):
+            load_sweep_file(path)
+
+
+# Small, fast axis strategies over real registry entries.
+_BACKENDS = st.lists(st.sampled_from(sorted(list_backends())),
+                     min_size=1, max_size=3, unique=True)
+_NETWORKS = st.lists(st.sampled_from(NETWORK_SPECS),
+                     min_size=1, max_size=3, unique=True)
+_THRESHOLDS = st.lists(
+    st.one_of(st.none(),
+              st.floats(min_value=500.0, max_value=1200.0,
+                        allow_nan=False)),
+    min_size=1, max_size=4, unique=True)
+_SEEDS = st.lists(st.integers(min_value=0, max_value=99),
+                  min_size=1, max_size=3, unique=True)
+
+
+@st.composite
+def _sweep_specs(draw):
+    return make_sweep_spec(
+        "fig8",
+        backends=draw(_BACKENDS),
+        networks=draw(_NETWORKS),
+        thresholds=draw(_THRESHOLDS),
+        seeds=draw(_SEEDS),
+        scale=draw(st.sampled_from(("smoke", "ci"))),
+    )
+
+
+class TestGridExpansionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_sweep_specs())
+    def test_cartesian_size(self, spec):
+        points = expand(spec)
+        assert len(points) == (len(spec.backends) * len(spec.networks)
+                               * len(spec.thresholds) * len(spec.seeds))
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_sweep_specs())
+    def test_no_duplicate_grid_points(self, spec):
+        points = expand(spec)
+        keys = [point.key() for point in points]
+        assert len(set(keys)) == len(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_sweep_specs())
+    def test_stable_ordering(self, spec):
+        points = expand(spec)
+        assert points == expand(spec)
+        # Documented nesting: backends, networks, seeds, thresholds.
+        expected = [
+            (backend_id, network.label, seed, threshold)
+            for backend_id in spec.backends
+            for network in spec.networks
+            for seed in spec.seeds
+            for threshold in spec.thresholds
+        ]
+        observed = [(p.backend.backend_id, p.spec.label, p.seed,
+                     p.threshold) for p in points]
+        assert observed == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(spec=_sweep_specs())
+    def test_cache_key_unique_across_grid_points(self, spec):
+        points = expand(spec)
+        keys = {point_cache_key(point, point_config(point))
+                for point in points}
+        assert len(keys) == len(points)
+
+
+class TestCacheKeys:
+    def test_char_jobs_and_verbose_never_in_point_cache_key(self):
+        point = expand(make_sweep_spec("fig8", scale="smoke"))[0]
+        baseline = point_cache_key(point, point_config(point))
+        sharded = point_cache_key(
+            point, point_config(point, char_jobs=8, verbose=True))
+        assert baseline == sharded
+
+    def test_threshold_only_neighbours_share_the_whole_prefix(self):
+        spec = make_sweep_spec("fig8", thresholds=(None, 900.0),
+                               scale="smoke")
+        first, second = expand(spec)
+        keys_first = shared_stage_keys(point_config(first),
+                                       SHARED_PREFIX_STAGES)
+        keys_second = shared_stage_keys(point_config(second),
+                                        SHARED_PREFIX_STAGES)
+        assert keys_first == keys_second
+        assert shared_prefix_count([first, second]) == 1
+
+    def test_backends_never_share_prefixes(self):
+        spec = make_sweep_spec(
+            "fig8", backends=("nangate15-booth", "nangate15-array"),
+            thresholds=(900.0,), scale="smoke")
+        booth, array = expand(spec)
+        keys_booth = shared_stage_keys(point_config(booth),
+                                       SHARED_PREFIX_STAGES)
+        keys_array = shared_stage_keys(point_config(array),
+                                       SHARED_PREFIX_STAGES)
+        for name in SHARED_PREFIX_STAGES:
+            assert keys_booth[name] != keys_array[name], name
+        assert shared_prefix_count([booth, array]) == 2
+
+    def test_fig9_weight_threshold_rule(self):
+        assert fig9_weight_threshold(NETWORK_SPECS[0], "smoke") == 900.0
+        assert fig9_weight_threshold(NETWORK_SPECS[0], "ci") == 825.0
+        assert fig9_weight_threshold(NETWORK_SPECS[3], "paper") == 900.0
+
+
+class TestScheduling:
+    def test_round_robin_across_prefix_groups(self):
+        spec = make_sweep_spec(
+            "fig8", backends=("nangate15-booth", "nangate15-array"),
+            thresholds=(None, 900.0, 850.0), scale="smoke")
+        points = expand(spec)
+        order = sweep_mod._scheduled_order(points)
+        assert sorted(order) == list(range(len(points)))
+        scheduled = [points[i] for i in order]
+        # The first len(groups) scheduled points warm distinct prefixes.
+        assert {p.backend.backend_id for p in scheduled[:2]} == {
+            "nangate15-booth", "nangate15-array"}
+        # Within a group the original (threshold) order is preserved.
+        booth = [p.threshold for p in scheduled
+                 if p.backend.backend_id == "nangate15-booth"]
+        assert booth == [None, 900.0, 850.0]
+
+
+def _echo_runner(point, context):
+    """Synthetic per-point runner: no pipeline work, tiny payload."""
+    if point.threshold == 666.0:
+        return {"payload": None, "metrics": {},
+                "skipped": "synthetic skip"}
+    value = (point.threshold or 0.0) + point.seed
+    return {"payload": {"value": value},
+            "metrics": {"accuracy": value, "n_weights": 1,
+                        "power_opt_mw": value},
+            "skipped": None}
+
+
+@pytest.fixture()
+def echo_experiment(monkeypatch):
+    monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8", _echo_runner)
+    return "fig8"
+
+
+class TestEngine:
+    def test_rows_in_expansion_order_and_point_caching(
+            self, echo_experiment):
+        spec = make_sweep_spec(
+            echo_experiment,
+            backends=("nangate15-booth", "nangate15-array"),
+            thresholds=(700.0, 800.0), seeds=(0, 1), scale="smoke")
+        store = ArtifactStore()
+        first = run_sweep(spec, jobs=1, store=store)
+        assert [(r.backend_id, r.seed, r.threshold)
+                for r in first.rows] == [
+            (p.backend.backend_id, p.seed, p.threshold)
+            for p in expand(spec)]
+        assert first.cache_misses == len(first.rows)
+        assert first.shared_prefixes == 4  # backend x seed groups
+
+        second = run_sweep(spec, jobs=1, store=store)
+        assert second.cache_misses == 0
+        assert second.cache_hits == len(second.rows)
+        assert [r.metrics for r in second.rows] == [r.metrics
+                                                    for r in first.rows]
+
+    def test_skipped_points_are_reported_not_dropped(
+            self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 666.0), scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        assert result.rows[1].skipped == "synthetic skip"
+        assert result.rows[1].payload is None
+        rendered = sweep_mod.format_sweep(result)
+        assert "synthetic skip" in rendered
+        tidy = result.tidy()
+        assert tidy[1]["skipped"] == "synthetic skip"
+
+    def test_in_process_store_rejected_with_workers(
+            self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment, thresholds=(700.0,
+                                                            800.0),
+                               scale="smoke")
+        with pytest.raises(ValueError, match="cache_dir"):
+            run_sweep(spec, jobs=2, store=ArtifactStore())
+
+    def test_unknown_experiment_rejected_at_run_time(self):
+        bogus = SweepSpec(experiment="fig12")
+        with pytest.raises(ValueError, match="unknown sweep experiment"):
+            run_sweep(bogus)
+
+    def test_csv_export(self, echo_experiment, tmp_path):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 666.0), scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        path = tmp_path / "tidy.csv"
+        result.write_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        assert lines[0].startswith(
+            "experiment,backend,network,threshold,seed,scale,skipped")
+
+    def test_failing_point_is_named(self, echo_experiment, monkeypatch):
+        def explode(point, context):
+            raise RuntimeError("synthetic point failure")
+
+        monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8", explode)
+        spec = make_sweep_spec("fig8", thresholds=(700.0,),
+                               scale="smoke")
+        with pytest.raises(ParallelTaskError) as excinfo:
+            run_sweep(spec, jobs=1, store=ArtifactStore())
+        message = str(excinfo.value)
+        assert "fig8 point" in message
+        assert "backend=nangate15-booth" in message
+        assert "threshold=700" in message
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+@dataclass(frozen=True)
+class _NamedTask:
+    name: str
+
+    def describe(self) -> str:
+        return f"named task {self.name}"
+
+
+def _boom(task: _NamedTask) -> str:
+    if task.name == "bad":
+        raise ValueError("kaboom")
+    return task.name
+
+
+class TestParallelTaskErrors:
+    def test_inline_failure_names_the_task(self):
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_boom, [_NamedTask("ok"), _NamedTask("bad")],
+                         jobs=1)
+        assert "named task bad" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_pool_failure_names_the_task_with_traceback(self):
+        tasks = [_NamedTask("ok"), _NamedTask("bad"), _NamedTask("ok2")]
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_boom, tasks, jobs=2)
+        message = str(excinfo.value)
+        assert "named task bad" in message
+        assert "worker traceback" in message
+        assert "kaboom" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_success_preserves_order(self):
+        tasks = [_NamedTask(f"t{i}") for i in range(5)]
+        assert parallel_map(lambda t: t.name, tasks, jobs=1) == [
+            f"t{i}" for i in range(5)]
+
+    def test_describe_falls_back_to_repr(self):
+        from repro.experiments.parallel import describe_task
+
+        assert "_NamedTask" not in describe_task(_NamedTask("x"))
+        assert describe_task(("a", 1)) == "('a', 1)"
+
+
+@pytest.mark.slow
+class TestSweepCacheAcceptance:
+    """ISSUE acceptance: repeated sweep runs hit the cache everywhere."""
+
+    def test_repeated_run_hits_cache_for_all_stages(
+            self, smoke_cache_dir):
+        spec = make_sweep_spec("fig8", thresholds=(None, 900.0),
+                               scale="smoke")
+        first = run_sweep(spec, jobs=1, cache_dir=smoke_cache_dir)
+        assert first.shared_prefixes == 1
+        second = run_sweep(spec, jobs=1, cache_dir=smoke_cache_dir)
+        # Every stage and every finished point comes from the cache.
+        assert second.cache_misses == 0
+        assert second.cache_hits >= len(second.rows)
+        for row_a, row_b in zip(first.rows, second.rows):
+            assert row_a.metrics == row_b.metrics

@@ -177,3 +177,90 @@ class TestDelaySelector:
         b = selector.select(145.0, seed=11)
         np.testing.assert_array_equal(a.weights, b.weights)
         np.testing.assert_array_equal(a.activations, b.activations)
+
+
+class TestShardedTimingCharacterization:
+    """Mirror of the sharded power characterization guarantees."""
+
+    WEIGHTS = [-105, -33, 0, 64, 127]
+
+    def test_seed_sequence_keyed_on_value_not_order(self):
+        from repro.timing import timing_seed_sequence
+
+        a = timing_seed_sequence(7, -105).generate_state(4)
+        b = timing_seed_sequence(7, -105).generate_state(4)
+        c = timing_seed_sequence(7, 64).generate_state(4)
+        d = timing_seed_sequence(8, -105).generate_state(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert not np.array_equal(a, d)
+
+    def test_stream_domain_separated_from_power(self):
+        from repro.power.characterization import weight_seed_sequence
+        from repro.timing import timing_seed_sequence
+
+        timing = timing_seed_sequence(7, -105).generate_state(4)
+        power = weight_seed_sequence(7, -105).generate_state(4)
+        assert not np.array_equal(timing, power)
+
+    def _characterize(self, profiler, weights, jobs,
+                      calibrate_to_ps=180.0):
+        return WeightTimingTable.characterize(
+            profiler, weights=weights, n_transitions=120, seed=5,
+            floor_ps=90.0, calibrate_to_ps=calibrate_to_ps, jobs=jobs)
+
+    @staticmethod
+    def _assert_tables_equal(a, b):
+        np.testing.assert_array_equal(a.weights, b.weights)
+        np.testing.assert_array_equal(a.max_delay_ps, b.max_delay_ps)
+        np.testing.assert_array_equal(a.combo_weight, b.combo_weight)
+        np.testing.assert_array_equal(a.combo_act_from, b.combo_act_from)
+        np.testing.assert_array_equal(a.combo_act_to, b.combo_act_to)
+        np.testing.assert_array_equal(a.combo_delay_ps, b.combo_delay_ps)
+        assert a.time_scale == b.time_scale
+        assert a.psum_path_ps == b.psum_path_ps
+
+    def test_sharded_bitwise_equal_to_serial(self, profiler):
+        serial = self._characterize(profiler, self.WEIGHTS, jobs=1)
+        sharded = self._characterize(profiler, self.WEIGHTS, jobs=3)
+        self._assert_tables_equal(serial, sharded)
+
+    def test_independent_of_weight_order_and_chunking(self, profiler):
+        forward = self._characterize(profiler, self.WEIGHTS, jobs=2)
+        backward = self._characterize(profiler,
+                                      list(reversed(self.WEIGHTS)),
+                                      jobs=4)
+        self._assert_tables_equal(forward, backward)
+
+    def test_result_independent_of_weight_subset(self, profiler):
+        full = self._characterize(profiler, self.WEIGHTS, jobs=1,
+                                  calibrate_to_ps=None)
+        solo = self._characterize(profiler, [64], jobs=1,
+                                  calibrate_to_ps=None)
+        assert full.max_delay_of(64) == solo.max_delay_of(64)
+        full_combos = full.combos_for([64])
+        solo_combos = solo.combos_for([64])
+        for a, b in zip(full_combos, solo_combos):
+            np.testing.assert_array_equal(a, b)
+
+    def test_explicit_transitions_shared_and_shardable(
+            self, profiler, sampled_transitions):
+        serial = WeightTimingTable.characterize(
+            profiler, weights=self.WEIGHTS,
+            transitions=sampled_transitions, floor_ps=90.0)
+        sharded = WeightTimingTable.characterize(
+            profiler, weights=self.WEIGHTS,
+            transitions=sampled_transitions, floor_ps=90.0, jobs=2)
+        self._assert_tables_equal(serial, sharded)
+
+    def test_char_jobs_absent_from_context_timing_key(self):
+        from repro.experiments.config import NETWORK_SPECS
+        from repro.experiments.runner import ExperimentContext
+
+        serial = ExperimentContext(NETWORK_SPECS[0], "smoke",
+                                   char_jobs=1)
+        sharded = ExperimentContext(NETWORK_SPECS[0], "smoke",
+                                    char_jobs=8)
+        candidates = [-2, 0, 2, 64]
+        assert serial.timing_table_key(candidates) == \
+            sharded.timing_table_key(reversed(candidates))
