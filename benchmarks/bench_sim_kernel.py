@@ -1,0 +1,251 @@
+"""Benchmark the gate-simulation kernels: legacy vs levelized vs packed.
+
+Times the two workload shapes every experiment bottoms out in, on the
+default MAC unit:
+
+* **power-shaped** — one stacked before/after evaluation of the full
+  MAC plus per-net toggle-rate extraction (the Sec. III-A per-weight
+  power characterization inner loop);
+* **DTA-shaped** — per-transition arrival-time propagation through the
+  multiplier with a frozen weight (the Sec. III-B per-weight dynamic
+  timing analysis inner loop).
+
+Each workload runs under the legacy interpreted walk (the pre-kernel
+evaluator, kept as ``kernel="reference"``), the levelized boolean
+kernel, and the bit-packed word kernel, asserting all three agree
+bit-for-bit before timing anything.  Results (wall times, sample
+throughputs, speedups, netlist/schedule stats) are written to a
+machine-readable JSON to seed the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_kernel.py
+    PYTHONPATH=src python benchmarks/bench_sim_kernel.py --quick
+
+The full run enforces the PR's acceptance floors (packed >= 5x legacy
+on the power shape, fused DTA >= 3x legacy); ``--quick`` shrinks the
+batches for CI smoke and only asserts the packed kernel is not slower
+than the legacy one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cells import default_library  # noqa: E402
+from repro.netlist import build_mac_unit  # noqa: E402
+from repro.sim.dynamic_timing import (  # noqa: E402
+    dynamic_arrival_times,
+    dynamic_arrival_times_reference,
+)
+from repro.sim.logic import bus_inputs, evaluate, evaluate_words  # noqa: E402
+from repro.sim.switching import (  # noqa: E402
+    paired_toggle_rates,
+    paired_toggle_rates_words,
+)
+
+#: Acceptance floors of the full benchmark (ISSUE 4).
+POWER_SPEEDUP_FLOOR = 5.0
+DTA_SPEEDUP_FLOOR = 3.0
+#: ``--quick`` floor: packed must not be slower than legacy.
+QUICK_SPEEDUP_FLOOR = 1.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall time of ``repeats`` runs (least-noise estimator)."""
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _power_feed(mac, n_samples: int, seed: int = 0):
+    """A stacked before/after stimulus batch for the full MAC."""
+    rng = np.random.default_rng(seed)
+    feed = bus_inputs("act", rng.integers(-128, 128, 2 * n_samples), 8)
+    feed.update(bus_inputs("w", np.full(2 * n_samples, -105), 8))
+    feed.update(bus_inputs(
+        "psum", rng.integers(-(1 << 21), 1 << 21, 2 * n_samples), 22))
+    return feed
+
+
+def bench_power_shape(mac, n_samples: int, repeats: int) -> dict:
+    """Stacked evaluation + toggle rates, one per kernel."""
+    packed = mac.full.packed()
+    feed = _power_feed(mac, n_samples)
+
+    def legacy():
+        return paired_toggle_rates(
+            evaluate(packed, feed, kernel="reference"))
+
+    def levelized():
+        return paired_toggle_rates(
+            evaluate(packed, feed, kernel="levelized"))
+
+    def packed_kernel():
+        return paired_toggle_rates_words(
+            evaluate_words(packed, feed, pair_halves=True))
+
+    reference_rates = legacy()
+    np.testing.assert_array_equal(reference_rates, levelized())
+    np.testing.assert_array_equal(reference_rates, packed_kernel())
+
+    legacy_s = _best_of(legacy, repeats)
+    levelized_s = _best_of(levelized, repeats)
+    packed_s = _best_of(packed_kernel, repeats)
+    return {
+        "n_samples": n_samples,
+        "legacy_s": legacy_s,
+        "levelized_s": levelized_s,
+        "packed_s": packed_s,
+        "legacy_samples_per_s": 2 * n_samples / legacy_s,
+        "packed_samples_per_s": 2 * n_samples / packed_s,
+        "speedup_levelized": legacy_s / levelized_s,
+        "speedup_packed": legacy_s / packed_s,
+    }
+
+
+def bench_dta_shape(mac, library, n_transitions: int,
+                    repeats: int) -> dict:
+    """Arrival-time propagation, legacy two-pass vs fused levelized.
+
+    The fused side reuses one preallocated arrival buffer across calls,
+    exactly as :class:`~repro.timing.profile.WeightDelayProfiler` does
+    across its chunks and weights (the legacy evaluator allocated a
+    fresh matrix per call, so the allocation cost is part of what the
+    kernel removed).
+    """
+    packed = mac.multiplier.packed()
+    rng = np.random.default_rng(1)
+    weight_bus = bus_inputs("w", np.full(n_transitions, -105), 8)
+    before = bus_inputs("act", rng.integers(-128, 128, n_transitions), 8)
+    before.update(weight_bus)
+    after = bus_inputs("act", rng.integers(-128, 128, n_transitions), 8)
+    after.update(weight_bus)
+    arrivals_buf = np.zeros((len(packed), n_transitions))
+
+    def legacy():
+        return dynamic_arrival_times_reference(packed, library, before,
+                                               after)
+
+    def fused():
+        return dynamic_arrival_times(packed, library, before, after,
+                                     out=arrivals_buf)
+
+    ref_arrivals, ref_toggled = legacy()
+    new_arrivals, new_toggled = fused()
+    new_arrivals = new_arrivals.copy()  # reused buffer; snapshot first
+    np.testing.assert_array_equal(ref_arrivals, new_arrivals)
+    np.testing.assert_array_equal(ref_toggled, new_toggled)
+
+    legacy_s = _best_of(legacy, repeats)
+    fused_s = _best_of(fused, repeats)
+    return {
+        "n_transitions": n_transitions,
+        "legacy_s": legacy_s,
+        "fused_s": fused_s,
+        "legacy_transitions_per_s": n_transitions / legacy_s,
+        "fused_transitions_per_s": n_transitions / fused_s,
+        "speedup_fused": legacy_s / fused_s,
+    }
+
+
+def run(quick: bool, json_path: Path, repeats: int) -> dict:
+    mac = build_mac_unit()
+    library = default_library()
+    n_power = 2000 if quick else 10000
+    n_dta = 1024 if quick else 8192
+
+    full_stats = mac.full.packed().schedule.stats()
+    mult_stats = mac.multiplier.packed().schedule.stats()
+    print(f"MAC netlist: {full_stats['n_gates']} gates / "
+          f"{full_stats['n_nets']} nets, depth {full_stats['n_levels']} "
+          f"levels, {full_stats['n_groups']} type-groups")
+
+    power = bench_power_shape(mac, n_power, repeats)
+    print(f"power-shaped ({n_power} stacked pairs): "
+          f"legacy {power['legacy_s'] * 1e3:8.1f} ms | "
+          f"levelized {power['levelized_s'] * 1e3:7.1f} ms "
+          f"({power['speedup_levelized']:.1f}x) | "
+          f"packed {power['packed_s'] * 1e3:7.1f} ms "
+          f"({power['speedup_packed']:.1f}x)")
+
+    dta = bench_dta_shape(mac, library, n_dta, repeats)
+    print(f"DTA-shaped   ({n_dta} transitions):   "
+          f"legacy {dta['legacy_s'] * 1e3:8.1f} ms | "
+          f"fused packed {dta['fused_s'] * 1e3:7.1f} ms "
+          f"({dta['speedup_fused']:.1f}x)")
+
+    payload = {
+        "benchmark": "sim_kernel",
+        "quick": quick,
+        "repeats": repeats,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "netlist": {"mac_full": full_stats, "multiplier": mult_stats},
+        "power_characterization_shape": power,
+        "dta_shape": dta,
+        "floors": {
+            "power_speedup": (QUICK_SPEEDUP_FLOOR if quick
+                              else POWER_SPEEDUP_FLOOR),
+            "dta_speedup": (QUICK_SPEEDUP_FLOOR if quick
+                            else DTA_SPEEDUP_FLOOR),
+        },
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"results written to {json_path}")
+
+    power_floor = QUICK_SPEEDUP_FLOOR if quick else POWER_SPEEDUP_FLOOR
+    dta_floor = QUICK_SPEEDUP_FLOOR if quick else DTA_SPEEDUP_FLOOR
+    failures = []
+    if power["speedup_packed"] < power_floor:
+        failures.append(
+            f"packed power-shape speedup {power['speedup_packed']:.2f}x "
+            f"below the {power_floor:g}x floor")
+    if dta["speedup_fused"] < dta_floor:
+        failures.append(
+            f"fused DTA speedup {dta['speedup_fused']:.2f}x below the "
+            f"{dta_floor:g}x floor")
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+    print("OK: all speedup floors met")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark legacy vs levelized vs bit-packed "
+                    "gate-simulation kernels on the default MAC")
+    parser.add_argument("--quick", action="store_true",
+                        help="small batches for CI smoke; only asserts "
+                             "the packed kernel is not slower than "
+                             "legacy")
+    parser.add_argument("--json", type=Path,
+                        default=Path("BENCH_sim_kernel.json"),
+                        metavar="FILE",
+                        help="output path for the machine-readable "
+                             "results (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="timing repeats; best-of-N is reported "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    run(args.quick, args.json, max(1, args.repeats))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, \
     TypeVar
@@ -87,7 +87,9 @@ def _call_guarded(packed: Tuple[Callable[[T], R], int, T]
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
-                 jobs: Optional[int] = None) -> List[R]:
+                 jobs: Optional[int] = None,
+                 on_result: Optional[Callable[[int, R], None]] = None
+                 ) -> List[R]:
     """``[fn(item) for item in items]`` across processes, order kept.
 
     Args:
@@ -95,6 +97,11 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         items: Picklable work items.
         jobs: Process count; ``None``/``0`` uses every core, ``1`` (or a
             single item) runs inline without spawning workers.
+        on_result: Progress hook called as ``on_result(index, result)``
+            each time a task *finishes* (completion order, which for
+            pool runs is not submission order).  This is what lets the
+            sweep engine stream a live done/cached/remaining report
+            while a grid runs.
 
     Raises:
         ParallelTaskError: A task raised; the message names the task
@@ -111,19 +118,33 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         results: List[R] = []
         for index, item in enumerate(items):
             try:
-                results.append(fn(item))
+                result = fn(item)
             except ParallelTaskError:
                 raise
             except Exception as error:
                 raise ParallelTaskError(
                     f"task {index}/{len(items)} failed: "
                     f"{describe_task(item)}") from error
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
         return results
+    outcomes: List[Optional[Tuple[bool, Any]]] = [None] * len(items)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        outcomes = list(pool.map(
-            _call_guarded,
-            [(fn, index, item) for index, item in enumerate(items)]))
-    for ok, payload in outcomes:
+        futures = {
+            pool.submit(_call_guarded, (fn, index, item)): index
+            for index, item in enumerate(items)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            ok, payload = future.result()
+            outcomes[index] = (ok, payload)
+            if ok and on_result is not None:
+                on_result(index, payload)
+    # Failures surface after the pool drains, first submission first —
+    # the same deterministic order the previous pool.map gave.
+    for outcome in outcomes:
+        ok, payload = outcome
         if not ok:
             index, described, worker_traceback, error = payload
             raise ParallelTaskError(

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import sys
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 from typing import (
@@ -376,6 +377,9 @@ class SweepRow:
     metrics: Mapping[str, float]
     #: Reason the point produced no result (e.g. too few survivors).
     skipped: Optional[str] = None
+    #: Whether the finished row was served from the artifact store
+    #: (memory or disk) instead of being computed.
+    cached: bool = False
 
 
 def _point_table1(point: SweepPoint, context: ExperimentContext
@@ -491,9 +495,10 @@ def _execute_point(point: SweepPoint, context: ExperimentContext
                    ) -> SweepRow:
     """Run (or fetch) one grid point through the artifact store."""
     runner = _POINT_RUNNERS[point.experiment]
+    key = point_cache_key(point, context.config)
+    cached = key in context.store
     outcome = context.store.get_or_compute(
-        point_cache_key(point, context.config),
-        lambda: runner(point, context))
+        key, lambda: runner(point, context))
     return SweepRow(
         experiment=point.experiment,
         backend_id=point.backend.backend_id,
@@ -504,6 +509,7 @@ def _execute_point(point: SweepPoint, context: ExperimentContext
         payload=outcome["payload"],
         metrics=dict(outcome["metrics"]),
         skipped=outcome["skipped"],
+        cached=cached,
     )
 
 
@@ -553,6 +559,59 @@ def _scheduled_order(points: Sequence[SweepPoint]) -> List[int]:
     return order
 
 
+class _ProgressReporter:
+    """Streams a done/cached/remaining line per finished grid point.
+
+    Lines go to ``stderr`` so the stdout result tables stay parseable;
+    the end-of-run totals additionally land in :func:`format_sweep`.
+    """
+
+    def __init__(self, total: int, stream=None) -> None:
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.stream = stream if stream is not None else sys.stderr
+
+    def start(self, sweep: SweepSpec, precached: Optional[int],
+              jobs: int) -> None:
+        line = (f"sweep: {sweep.describe()} -> {self.total} grid "
+                f"point(s)")
+        if precached is not None:
+            line += f", {precached} already in the artifact store"
+        if jobs > 1:
+            line += f", {jobs} workers"
+        print(line, file=self.stream, flush=True)
+
+    def finished(self, point: SweepPoint, row: SweepRow) -> None:
+        self.done += 1
+        self.cached += 1 if row.cached else 0
+        status = "cached" if row.cached else "computed"
+        if row.skipped is not None:
+            status += ", skipped"
+        print(f"  [{self.done}/{self.total}] {point.describe()} "
+              f"- {status} ({self.cached} from cache, "
+              f"{self.total - self.done} remaining)",
+              file=self.stream, flush=True)
+
+
+def _precached_count(points: Sequence[SweepPoint], cache: Optional[str],
+                     store: Optional[ArtifactStore],
+                     char_jobs: int) -> Optional[int]:
+    """How many grid points the artifact store can already serve.
+
+    Probes the sweep-level point keys in the given store (or a throwaway
+    view of the on-disk cache); ``None`` when there is nowhere to look.
+    """
+    if store is None:
+        if cache is None:
+            return None
+        store = ArtifactStore(cache)
+    return sum(
+        1 for point in points
+        if point_cache_key(point,
+                           point_config(point, char_jobs)) in store)
+
+
 # ----------------------------------------------------------------------
 # results
 # ----------------------------------------------------------------------
@@ -588,6 +647,7 @@ class SweepResult:
                 "seed": row.seed,
                 "scale": row.scale,
                 "skipped": row.skipped or "",
+                "cached": int(row.cached),
             }
             record.update(row.metrics)
             records.append(record)
@@ -712,8 +772,16 @@ def format_sweep(result: SweepResult) -> str:
             lines.extend(_metric_matrix(
                 rows, metric,
                 f"{title} by backend x threshold:", fmt, scale))
+    n_cached = sum(1 for row in result.rows if row.cached)
+    n_skipped = sum(1 for row in result.rows if row.skipped is not None)
+    summary = (f"progress: {len(result.rows)} point(s) done - "
+               f"{len(result.rows) - n_cached} computed, "
+               f"{n_cached} served from cache, 0 remaining")
+    if n_skipped:
+        summary += f" ({n_skipped} skipped)"
+    lines.append("")
+    lines.append(summary)
     if result.cache_hits is not None:
-        lines.append("")
         lines.append(f"artifact cache: {result.cache_hits} hits, "
                      f"{result.cache_misses} misses "
                      f"({result.shared_prefixes} distinct training "
@@ -727,7 +795,8 @@ def format_sweep(result: SweepResult) -> str:
 def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
               cache_dir=None, char_jobs: int = 1,
               verbose: bool = False,
-              store: Optional[ArtifactStore] = None) -> SweepResult:
+              store: Optional[ArtifactStore] = None,
+              progress: bool = False) -> SweepResult:
     """Expand a sweep grid and run every point, sharing all caches.
 
     Args:
@@ -749,6 +818,9 @@ def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
         verbose: Log stage execution.
         store: An existing in-process store to share (serial runs
             only); overrides ``cache_dir``.
+        progress: Stream a per-point done/cached/remaining report to
+            stderr while the grid runs (plus an upfront count of
+            points the artifact store can already serve).
     """
     if sweep.experiment not in _POINT_RUNNERS:
         raise ValueError(f"unknown sweep experiment "
@@ -777,8 +849,14 @@ def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
         cache = scratch.name
 
     rows: List[Optional[SweepRow]] = [None] * len(points)
+    reporter = _ProgressReporter(len(points)) if progress else None
     if effective == 1:
         shared = store if store is not None else ArtifactStore(cache)
+        if reporter is not None:
+            reporter.start(sweep,
+                           _precached_count(points, cache, shared,
+                                            char_jobs),
+                           jobs=1)
         hits_before, misses_before = shared.hits, shared.misses
         for index in order:
             point = points[index]
@@ -794,13 +872,27 @@ def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
                 raise ParallelTaskError(
                     f"sweep point failed: {point.describe()}"
                 ) from error
+            if reporter is not None:
+                reporter.finished(point, rows[index])
         cache_hits = shared.hits - hits_before
         cache_misses = shared.misses - misses_before
     else:
         tasks = [PointTask(points[index], cache, char_jobs, verbose)
                  for index in order]
+        if reporter is not None:
+            # The scratch cache starts empty, so only a user-provided
+            # cache_dir can pre-serve points.
+            probe = None if scratch is not None else cache
+            reporter.start(sweep,
+                           _precached_count(points, probe, None,
+                                            char_jobs),
+                           jobs=effective)
+        on_result = (None if reporter is None else
+                     (lambda slot, row:
+                      reporter.finished(tasks[slot].point, row)))
         try:
-            shuffled = parallel_map(_run_point, tasks, jobs=effective)
+            shuffled = parallel_map(_run_point, tasks, jobs=effective,
+                                    on_result=on_result)
         finally:
             if scratch is not None:
                 scratch.cleanup()
@@ -906,7 +998,7 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(str(error))
 
     result = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir,
-                       char_jobs=args.char_jobs)
+                       char_jobs=args.char_jobs, progress=True)
     print(format_sweep(result))
     if args.csv:
         result.write_csv(args.csv)

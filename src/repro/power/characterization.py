@@ -37,8 +37,8 @@ from repro.power.transitions import (
     TransitionDistribution,
     code_to_value,
 )
-from repro.sim.logic import bus_inputs, evaluate
-from repro.sim.switching import paired_toggle_rates
+from repro.sim.logic import bus_inputs, evaluate_words
+from repro.sim.switching import paired_toggle_rates_words
 
 #: Fig. 2 anchor: the most power-hungry weight value burns ~1066 µW.
 ANCHOR_MAX_POWER_UW = 1066.0
@@ -208,7 +208,9 @@ class WeightPowerCharacterizer:
 
         The pre- and post-transition stimuli are evaluated as one
         stacked batch — a single pass over the netlist instead of two —
-        and reduced straight to per-net toggle rates.
+        through the bit-packed levelized kernel, and reduced straight
+        from packed words to per-net toggle rates via popcount
+        (bit-for-bit equal to the boolean-matrix path).
         """
         n = self.n_samples
         code_from, code_to = self.act_transitions.sample(n, rng)
@@ -223,8 +225,8 @@ class WeightPowerCharacterizer:
             "psum", np.concatenate([psum_from, psum_to]),
             self.mac.psum_bits))
 
-        values = evaluate(self._packed, feed)
-        rates = paired_toggle_rates(values)
+        values = evaluate_words(self._packed, feed, pair_halves=True)
+        rates = paired_toggle_rates_words(values)
         return float(np.dot(rates, self._energies))
 
     def dynamic_energies_fj(self, weights: Sequence[int],

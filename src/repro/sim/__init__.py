@@ -12,13 +12,27 @@ Vectorized replacements for the commercial tooling the paper uses:
   Design Compiler's STA engine).
 """
 
-from repro.sim.logic import bits_to_int, evaluate, int_to_bits
+from repro.sim.logic import (
+    PackedValues,
+    bits_to_int,
+    evaluate,
+    evaluate_words,
+    int_to_bits,
+    pack_bits,
+    popcount_words,
+    unpack_bits,
+)
 from repro.sim.switching import (
     paired_toggle_rates,
+    paired_toggle_rates_words,
     toggle_matrix,
     toggle_rates,
 )
-from repro.sim.dynamic_timing import dynamic_arrival_times, dynamic_delays
+from repro.sim.dynamic_timing import (
+    dynamic_arrival_times,
+    dynamic_arrival_times_reference,
+    dynamic_delays,
+)
 from repro.sim.static_timing import (
     static_arrival_times,
     static_max_delay,
@@ -27,12 +41,19 @@ from repro.sim.static_timing import (
 
 __all__ = [
     "evaluate",
+    "evaluate_words",
+    "PackedValues",
+    "pack_bits",
+    "unpack_bits",
+    "popcount_words",
     "int_to_bits",
     "bits_to_int",
     "toggle_matrix",
     "toggle_rates",
     "paired_toggle_rates",
+    "paired_toggle_rates_words",
     "dynamic_arrival_times",
+    "dynamic_arrival_times_reference",
     "dynamic_delays",
     "static_arrival_times",
     "static_max_delay",

@@ -1,20 +1,49 @@
 """Batched Boolean evaluation of gate-level netlists.
 
-The evaluator walks the (topologically ordered) node list once and applies
-each gate's function to whole numpy batches, so simulating the 2^16
-activation transitions of the paper's timing characterization is a single
-pass over ~1000 gates rather than 65536 separate simulations.
+Three kernels share one contract (bit-for-bit identical results):
+
+* ``reference`` — the original interpreted walk: one Python iteration
+  per gate, applying its function to a whole boolean batch.  Kept as
+  the executable specification the fast kernels are tested against.
+* ``levelized`` — gates are topologically levelized and grouped by
+  type at :class:`~repro.netlist.gates.PackedNetlist` build time (see
+  :class:`~repro.netlist.gates.LevelSchedule`), so evaluation becomes
+  ~``depth x gate-types`` fancy-indexed numpy ops instead of ~N Python
+  iterations.
+* ``packed`` (default) — the levelized schedule over *bit-packed*
+  batches: net values are ``uint64`` words holding 64 samples each, so
+  every gate op processes 64 stimuli per machine word and memory
+  traffic drops 8x vs ``bool``.  Toggle statistics reduce straight
+  from packed words via popcount (:func:`popcount_words`) without ever
+  materializing the boolean matrix.
+
+Simulating the 2^16 activation transitions of the paper's timing
+characterization is therefore a few hundred word-wide array ops rather
+than 65536 separate simulations or even ~1000 per-gate batch ops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.netlist.gates import GateType, Netlist, PackedNetlist
+from repro.netlist.gates import (
+    GateType,
+    LevelSchedule,
+    Netlist,
+    PackedNetlist,
+)
 
 ArrayLike = Union[np.ndarray, int, bool]
+
+#: Samples per machine word in the packed representation.
+WORD_BITS = 64
+
+#: Storage dtype of packed words: explicitly little-endian so the
+#: byte-level pack/unpack layout is identical on every platform.
+WORD_DTYPE = np.dtype("<u8")
 
 
 def int_to_bits(values: np.ndarray, width: int) -> np.ndarray:
@@ -45,15 +74,281 @@ def bits_to_int(bits: np.ndarray, signed: bool = True) -> np.ndarray:
     return (bits * weights).sum(axis=-1)
 
 
+# ----------------------------------------------------------------------
+# bit packing
+# ----------------------------------------------------------------------
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean batch axis into ``uint64`` words, LSB first.
+
+    Args:
+        bits: Boolean array whose *last* axis is the sample axis.
+
+    Returns:
+        Array of :data:`WORD_DTYPE` words, last axis ``ceil(n / 64)``;
+        sample ``i`` lives in bit ``i % 64`` of word ``i // 64``.  Tail
+        bits beyond the batch are zero.
+    """
+    bits = np.ascontiguousarray(bits, dtype=bool)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = (-packed.shape[-1]) % (WORD_BITS // 8)
+    if pad:
+        pad_widths = [(0, 0)] * (packed.ndim - 1) + [(0, pad)]
+        packed = np.pad(packed, pad_widths)
+    return packed.view(WORD_DTYPE)
+
+
+def unpack_bits(words: np.ndarray, batch: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: the first ``batch`` samples."""
+    raw = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(raw, axis=-1, count=batch, bitorder="little")
+    return bits.view(bool)
+
+
+#: 8-bit popcount lookup table backing the portable fallback.
+_POPCOUNT_TABLE = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.uint8)
+
+
+def _popcount_lookup(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts via an 8-bit table (works on any numpy)."""
+    raw = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT_TABLE[raw].sum(axis=-1, dtype=np.int64)
+
+
+def _popcount_native(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts via ``np.bitwise_count`` (numpy >= 2.0)."""
+    return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+
+#: Active popcount reduction: hardware-assisted when numpy provides it,
+#: table-driven otherwise.  Tests monkeypatch this to cover both.
+_popcount_impl: Callable[[np.ndarray], np.ndarray] = (
+    _popcount_native if hasattr(np, "bitwise_count") else _popcount_lookup
+)
+
+
+def popcount_words(words: np.ndarray,
+                   batch: Optional[int] = None) -> np.ndarray:
+    """Number of set bits per row, summed over the last (word) axis.
+
+    Beware that evaluated words carry *arbitrary* values in the padding
+    bits beyond the batch (inverting gates and CONST1 set them), so raw
+    counts over :attr:`PackedValues.words` include that garbage.  Two
+    safe ways to count:
+
+    * XOR word matrices that computed the same function of identical
+      padding (the paired toggle path) — the padding cancels;
+    * pass ``batch`` for a single contiguously packed layout and the
+      tail word is masked here first (do *not* pass it for the
+      two-half ``pair_halves`` layout, whose tails sit mid-row).
+    """
+    if batch is not None:
+        tail = batch % WORD_BITS
+        if tail:
+            words = words.copy()
+            words[..., -1] &= np.uint64((1 << tail) - 1)
+    return _popcount_impl(words)
+
+
+@dataclass(frozen=True)
+class PackedValues:
+    """Bit-packed result of :func:`evaluate_words`.
+
+    Attributes:
+        words: ``(nets, n_words)`` packed values, :data:`WORD_DTYPE`.
+        batch: Number of valid samples.
+        half_batch: When set, the batch is two word-aligned halves of
+            this many samples each (a stacked before/after pair): words
+            ``[:W/2]`` hold samples ``[0, half_batch)`` and words
+            ``[W/2:]`` hold samples ``[half_batch, batch)``.  The
+            alignment is what lets toggle extraction XOR the halves
+            word-for-word even when ``half_batch % 64 != 0``.
+    """
+
+    words: np.ndarray
+    batch: int
+    half_batch: Optional[int] = None
+
+    def unpack(self) -> np.ndarray:
+        """Boolean ``values[net, sample]`` matrix (drops padding)."""
+        if self.half_batch is None:
+            return unpack_bits(self.words, self.batch)
+        half_words = self.words.shape[-1] // 2
+        return np.concatenate(
+            [unpack_bits(self.words[:, :half_words], self.half_batch),
+             unpack_bits(self.words[:, half_words:],
+                         self.batch - self.half_batch)],
+            axis=-1,
+        )
+
+    def halves(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The (before, after) word matrices of a paired evaluation."""
+        if self.half_batch is None:
+            raise ValueError(
+                "not a paired evaluation; call evaluate_words(..., "
+                "pair_halves=True)")
+        half_words = self.words.shape[-1] // 2
+        return self.words[:, :half_words], self.words[:, half_words:]
+
+
+# ----------------------------------------------------------------------
+# shared input plumbing
+# ----------------------------------------------------------------------
 def _resolve_packed(netlist: Union[Netlist, PackedNetlist]) -> PackedNetlist:
     if isinstance(netlist, PackedNetlist):
         return netlist
     return netlist.packed()
 
 
+def _infer_batch(inputs: Mapping[str, ArrayLike],
+                 batch: Optional[int]) -> int:
+    if batch is not None:
+        return batch
+    for value in inputs.values():
+        arr = np.asarray(value)
+        if arr.ndim > 0:
+            return arr.shape[0]
+    return 1
+
+
+def _input_matrix(packed: PackedNetlist,
+                  inputs: Mapping[str, ArrayLike],
+                  batch: int) -> "tuple[np.ndarray, np.ndarray]":
+    """``(input_nets, bits)`` with one broadcast boolean row per input."""
+    names = packed.netlist.input_names
+    missing = set(names) - set(inputs)
+    if missing:
+        raise ValueError(f"missing values for inputs: {sorted(missing)}")
+    nets = np.fromiter(names.values(), dtype=np.int64, count=len(names))
+    bits = np.empty((len(names), batch), dtype=bool)
+    for row, name in enumerate(names):
+        arr = np.asarray(inputs[name], dtype=bool)
+        bits[row] = np.broadcast_to(arr, (batch,))
+    return nets, bits
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def _run_schedule_bool(schedule: LevelSchedule,
+                       values: np.ndarray) -> None:
+    """Levelized evaluation over a boolean ``values`` matrix, in place."""
+    for group in schedule.groups:
+        gtype = group.gtype
+        if gtype == GateType.INV:
+            values[group.dst] = ~values[group.f0]
+        elif gtype == GateType.BUF:
+            values[group.dst] = values[group.f0]
+        elif gtype == GateType.AND2:
+            values[group.dst] = values[group.f0] & values[group.f1]
+        elif gtype == GateType.OR2:
+            values[group.dst] = values[group.f0] | values[group.f1]
+        elif gtype == GateType.NAND2:
+            values[group.dst] = ~(values[group.f0] & values[group.f1])
+        elif gtype == GateType.NOR2:
+            values[group.dst] = ~(values[group.f0] | values[group.f1])
+        elif gtype == GateType.XOR2:
+            values[group.dst] = values[group.f0] ^ values[group.f1]
+        elif gtype == GateType.XNOR2:
+            values[group.dst] = ~(values[group.f0] ^ values[group.f1])
+        elif gtype == GateType.MUX2:
+            values[group.dst] = np.where(
+                values[group.f0], values[group.f2], values[group.f1])
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError(f"unhandled gate type {gtype}")
+
+
+def _run_schedule_words(schedule: LevelSchedule,
+                        words: np.ndarray) -> None:
+    """Levelized evaluation over packed ``uint64`` words, in place.
+
+    Identical to :func:`_run_schedule_bool` with bitwise word ops;
+    padding bits beyond the batch may take arbitrary values (they are
+    dropped on unpack and cancel in paired toggle extraction, where
+    both halves compute the same function of identical padding).
+    """
+    for group in schedule.groups:
+        gtype = group.gtype
+        if gtype == GateType.INV:
+            words[group.dst] = ~words[group.f0]
+        elif gtype == GateType.BUF:
+            words[group.dst] = words[group.f0]
+        elif gtype == GateType.AND2:
+            words[group.dst] = words[group.f0] & words[group.f1]
+        elif gtype == GateType.OR2:
+            words[group.dst] = words[group.f0] | words[group.f1]
+        elif gtype == GateType.NAND2:
+            words[group.dst] = ~(words[group.f0] & words[group.f1])
+        elif gtype == GateType.NOR2:
+            words[group.dst] = ~(words[group.f0] | words[group.f1])
+        elif gtype == GateType.XOR2:
+            words[group.dst] = words[group.f0] ^ words[group.f1]
+        elif gtype == GateType.XNOR2:
+            words[group.dst] = ~(words[group.f0] ^ words[group.f1])
+        elif gtype == GateType.MUX2:
+            select = words[group.f0]
+            words[group.dst] = ((words[group.f2] & select)
+                                | (words[group.f1] & ~select))
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError(f"unhandled gate type {gtype}")
+
+
+def evaluate_words(netlist: Union[Netlist, PackedNetlist],
+                   inputs: Mapping[str, ArrayLike],
+                   batch: Optional[int] = None,
+                   pair_halves: bool = False) -> PackedValues:
+    """Evaluate every net over bit-packed batches; stay packed.
+
+    The packed-domain twin of :func:`evaluate` for consumers that
+    reduce values to statistics (toggle rates via popcount) and never
+    need the boolean matrix.
+
+    Args:
+        netlist: The circuit (or its packed view).
+        inputs: Mapping from primary-input name to a boolean batch
+            array or a scalar (broadcast over the batch).
+        batch: Batch size; inferred from the first array input when
+            omitted.
+        pair_halves: Treat the batch as a stacked before/after pair
+            (``[before..., after...]``, even length) and pack each half
+            word-aligned, so the halves can be XORed word-for-word (see
+            :meth:`PackedValues.halves`).
+
+    Returns:
+        :class:`PackedValues` with one word row per net.
+    """
+    packed = _resolve_packed(netlist)
+    batch = _infer_batch(inputs, batch)
+    input_nets, input_bits = _input_matrix(packed, inputs, batch)
+
+    half_batch: Optional[int] = None
+    if pair_halves:
+        if batch % 2 != 0:
+            raise ValueError(
+                f"stacked batch of {batch} samples has no before/after "
+                f"halves")
+        half_batch = batch // 2
+        packed_rows = np.concatenate(
+            [pack_bits(input_bits[:, :half_batch]),
+             pack_bits(input_bits[:, half_batch:])], axis=-1)
+    else:
+        packed_rows = pack_bits(input_bits)
+
+    words = np.zeros((len(packed), packed_rows.shape[-1]),
+                     dtype=WORD_DTYPE)
+    words[input_nets] = packed_rows
+    schedule = packed.schedule
+    if schedule.const1.size:
+        words[schedule.const1] = ~np.uint64(0)
+    _run_schedule_words(schedule, words)
+    return PackedValues(words=words, batch=batch, half_batch=half_batch)
+
+
 def evaluate(netlist: Union[Netlist, PackedNetlist],
              inputs: Mapping[str, ArrayLike],
-             batch: Optional[int] = None) -> np.ndarray:
+             batch: Optional[int] = None,
+             kernel: str = "packed") -> np.ndarray:
     """Evaluate every net of ``netlist`` for a batch of input patterns.
 
     Args:
@@ -62,22 +357,38 @@ def evaluate(netlist: Union[Netlist, PackedNetlist],
             boolean batch array or a scalar (broadcast over the batch).
         batch: Batch size; inferred from the first array input when
             omitted.
+        kernel: ``"packed"`` (default), ``"levelized"`` or
+            ``"reference"`` — all bit-for-bit identical; the slower
+            kernels exist as the testing oracle and for benchmarking.
 
     Returns:
         Boolean matrix ``values[net, sample]`` holding the logic value of
         every net for every pattern.
     """
     packed = _resolve_packed(netlist)
-    names = packed.netlist.input_names
+    if kernel == "packed":
+        return evaluate_words(packed, inputs, batch).unpack()
+    if kernel == "levelized":
+        batch = _infer_batch(inputs, batch)
+        input_nets, input_bits = _input_matrix(packed, inputs, batch)
+        values = np.zeros((len(packed), batch), dtype=bool)
+        values[input_nets] = input_bits
+        schedule = packed.schedule
+        values[schedule.const1] = True
+        _run_schedule_bool(schedule, values)
+        return values
+    if kernel == "reference":
+        return _evaluate_reference(packed, inputs, batch)
+    raise ValueError(f"unknown kernel {kernel!r}; choose from "
+                     f"('packed', 'levelized', 'reference')")
 
-    if batch is None:
-        for value in inputs.values():
-            arr = np.asarray(value)
-            if arr.ndim > 0:
-                batch = arr.shape[0]
-                break
-        else:
-            batch = 1
+
+def _evaluate_reference(packed: PackedNetlist,
+                        inputs: Mapping[str, ArrayLike],
+                        batch: Optional[int] = None) -> np.ndarray:
+    """The original per-gate interpreted walk (executable spec)."""
+    names = packed.netlist.input_names
+    batch = _infer_batch(inputs, batch)
 
     missing = set(names) - set(inputs)
     if missing:
@@ -136,13 +447,25 @@ def evaluate(netlist: Union[Netlist, PackedNetlist],
 
 
 def read_output_bus(netlist: Union[Netlist, PackedNetlist],
-                    values: np.ndarray, prefix: str, width: int,
+                    values: Union[np.ndarray, PackedValues],
+                    prefix: str, width: int,
                     signed: bool = True) -> np.ndarray:
-    """Decode an output bus from an :func:`evaluate` result to integers."""
+    """Decode an output bus from an :func:`evaluate` result to integers.
+
+    Accepts either the boolean matrix of :func:`evaluate` or the
+    :class:`PackedValues` of :func:`evaluate_words`.
+    """
     packed = _resolve_packed(netlist)
     nets = packed.netlist.output_bus(prefix, width)
-    bits = values[nets].T  # (batch, width)
-    return bits_to_int(bits, signed=signed)
+    if isinstance(values, PackedValues):
+        # Slice the word rows down to the bus *before* unpacking, so a
+        # wide-batch result never materializes the full boolean matrix.
+        bits = PackedValues(words=values.words[nets],
+                            batch=values.batch,
+                            half_batch=values.half_batch).unpack()
+    else:
+        bits = values[nets]
+    return bits_to_int(bits.T, signed=signed)
 
 
 def bus_inputs(prefix: str, values: np.ndarray, width: int

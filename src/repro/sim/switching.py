@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sim.logic import PackedValues, popcount_words
+
 
 def toggle_matrix(values_before: np.ndarray,
                   values_after: np.ndarray) -> np.ndarray:
@@ -59,6 +61,33 @@ def paired_toggle_rates(values: np.ndarray) -> np.ndarray:
             f"before/after halves")
     half = values.shape[1] // 2
     return (values[:, :half] != values[:, half:]).mean(axis=1)
+
+
+def paired_toggle_rates_words(values: PackedValues) -> np.ndarray:
+    """Packed-domain :func:`paired_toggle_rates`: XOR plus popcount.
+
+    Operates directly on the bit-packed words of a paired evaluation
+    (``evaluate_words(..., pair_halves=True)``): the word-aligned
+    before/after halves XOR word-for-word, and a popcount reduces the
+    toggle words straight to per-net counts — 64 samples per machine
+    word, no boolean matrix ever materialized.  Padding bits cancel in
+    the XOR because both halves compute the same function of identical
+    padding inputs.
+
+    Bit-for-bit identical to unpacking and calling
+    :func:`paired_toggle_rates`: the popcount is an exact integer, and
+    ``count / n`` equals ``np.mean`` over the matching boolean row.
+
+    Args:
+        values: Paired packed evaluation of a stacked
+            ``[before..., after...]`` batch.
+
+    Returns:
+        Per-net mean toggle probability over the pairs.
+    """
+    before, after = values.halves()
+    counts = popcount_words(before ^ after)
+    return counts / float(values.half_batch)
 
 
 def stream_toggle_counts(values: np.ndarray) -> np.ndarray:

@@ -147,6 +147,21 @@ class WeightDelayProfiler:
         self.model = MacTimingModel(mac, library)
         self.chunk = chunk
         self._packed = mac.multiplier.packed()
+        # Build the levelized plan once, outside the per-weight loop
+        # (and before any worker pickling ships the packed view).
+        self._packed.schedule
+        # Arrival-time buffer reused across chunks and weights; one
+        # (nets, chunk) float64 allocation instead of one per DTA call
+        # (page-faulting a fresh ~50 MB matrix per chunk costs more
+        # than the propagation itself).  Lazily allocated, never
+        # pickled (see __getstate__).
+        self._arrivals_buf: Optional[np.ndarray] = None
+
+    def __getstate__(self) -> dict:
+        """Drop the scratch buffer when shipping to worker processes."""
+        state = self.__dict__.copy()
+        state["_arrivals_buf"] = None
+        return state
 
     def delays(self, weight: int, act_from: np.ndarray,
                act_to: np.ndarray) -> np.ndarray:
@@ -156,25 +171,35 @@ class WeightDelayProfiler:
         if act_from.shape != act_to.shape:
             raise ValueError("from/to activation arrays must align")
         out = np.empty(act_from.size, dtype=np.float64)
+        # The weight bus is constant across the whole profile; build it
+        # once at the widest chunk size and slice per chunk.
+        weight_bus = bus_inputs(
+            "w", np.full(min(self.chunk, max(act_from.size, 1)), weight),
+            self.mac.weight_bits
+        )
         for start in range(0, act_from.size, self.chunk):
             stop = min(start + self.chunk, act_from.size)
+            sliced = {name: bits[:stop - start]
+                      for name, bits in weight_bus.items()}
             out[start:stop] = self._delays_chunk(
-                weight, act_from[start:stop], act_to[start:stop]
+                sliced, act_from[start:stop], act_to[start:stop]
             )
         return out
 
-    def _delays_chunk(self, weight: int, act_from: np.ndarray,
+    def _delays_chunk(self, weight_bus, act_from: np.ndarray,
                       act_to: np.ndarray) -> np.ndarray:
-        n = act_from.size
-        weight_bus = bus_inputs(
-            "w", np.full(n, weight), self.mac.weight_bits
-        )
+        out = None
+        if act_from.size == self.chunk:
+            if self._arrivals_buf is None:
+                self._arrivals_buf = np.zeros(
+                    (len(self._packed), self.chunk), dtype=np.float64)
+            out = self._arrivals_buf
         feed_before = bus_inputs("act", act_from, self.mac.act_bits)
         feed_before.update(weight_bus)
         feed_after = bus_inputs("act", act_to, self.mac.act_bits)
         feed_after.update(weight_bus)
         arrivals, __ = dynamic_arrival_times(
-            self._packed, self.library, feed_before, feed_after
+            self._packed, self.library, feed_before, feed_after, out=out
         )
         product_arrivals = output_bus_arrivals(
             self._packed, arrivals, "product", self.mac.product_bits

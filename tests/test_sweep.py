@@ -324,6 +324,56 @@ class TestEngine:
         assert lines[0].startswith(
             "experiment,backend,network,threshold,seed,scale,skipped")
 
+    def test_rows_flag_cache_service(self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment, thresholds=(700.0,),
+                               scale="smoke")
+        store = ArtifactStore()
+        first = run_sweep(spec, jobs=1, store=store)
+        assert [row.cached for row in first.rows] == [False]
+        second = run_sweep(spec, jobs=1, store=store)
+        assert [row.cached for row in second.rows] == [True]
+        assert second.tidy()[0]["cached"] == 1
+
+    def test_progress_report_streams_and_summarizes(
+            self, echo_experiment, capsys):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 666.0), scale="smoke")
+        store = ArtifactStore()
+        result = run_sweep(spec, jobs=1, store=store, progress=True)
+        err = capsys.readouterr().err
+        assert "-> 2 grid point(s), 0 already in the artifact store" \
+            in err
+        assert "[1/2]" in err and "[2/2]" in err
+        assert "1 remaining" in err and "0 remaining" in err
+        rendered = sweep_mod.format_sweep(result)
+        assert ("progress: 2 point(s) done - 2 computed, "
+                "0 served from cache, 0 remaining (1 skipped)"
+                ) in rendered
+
+        rerun = run_sweep(spec, jobs=1, store=store, progress=True)
+        err = capsys.readouterr().err
+        assert "2 already in the artifact store" in err
+        assert "- cached (1 from cache, 1 remaining)" in err
+        assert "- cached, skipped (2 from cache, 0 remaining)" in err
+        assert ("progress: 2 point(s) done - 0 computed, "
+                "2 served from cache, 0 remaining"
+                ) in sweep_mod.format_sweep(rerun)
+
+    def test_progress_report_across_workers(self, echo_experiment,
+                                            tmp_path, capsys):
+        spec = make_sweep_spec(
+            echo_experiment, thresholds=(700.0, 800.0), scale="smoke")
+        run_sweep(spec, jobs=2, cache_dir=tmp_path / "cache",
+                  progress=True)
+        err = capsys.readouterr().err
+        assert "2 workers" in err
+        assert "[1/2]" in err and "[2/2]" in err
+        run_sweep(spec, jobs=2, cache_dir=tmp_path / "cache",
+                  progress=True)
+        err = capsys.readouterr().err
+        assert "2 already in the artifact store" in err
+        assert "(2 from cache, 0 remaining)" in err
+
     def test_failing_point_is_named(self, echo_experiment, monkeypatch):
         def explode(point, context):
             raise RuntimeError("synthetic point failure")
@@ -351,6 +401,10 @@ class _NamedTask:
 def _boom(task: _NamedTask) -> str:
     if task.name == "bad":
         raise ValueError("kaboom")
+    return task.name
+
+
+def _ok(task: _NamedTask) -> str:
     return task.name
 
 
@@ -382,6 +436,31 @@ class TestParallelTaskErrors:
 
         assert "_NamedTask" not in describe_task(_NamedTask("x"))
         assert describe_task(("a", 1)) == "('a', 1)"
+
+    def test_on_result_streams_every_completion_inline(self):
+        seen = []
+        tasks = [_NamedTask(f"t{i}") for i in range(4)]
+        parallel_map(_ok, tasks, jobs=1,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(i, f"t{i}") for i in range(4)]
+
+    def test_on_result_streams_every_completion_in_pool(self):
+        seen = []
+        tasks = [_NamedTask(f"t{i}") for i in range(4)]
+        results = parallel_map(_ok, tasks, jobs=2,
+                               on_result=lambda i, r:
+                               seen.append((i, r)))
+        # Completion order is arbitrary; coverage and payloads are not.
+        assert sorted(seen) == [(i, f"t{i}") for i in range(4)]
+        assert results == [f"t{i}" for i in range(4)]
+
+    def test_on_result_skips_failures(self):
+        seen = []
+        tasks = [_NamedTask("ok"), _NamedTask("bad")]
+        with pytest.raises(ParallelTaskError):
+            parallel_map(_boom, tasks, jobs=2,
+                         on_result=lambda i, r: seen.append(i))
+        assert seen == [0]
 
 
 @pytest.mark.slow
