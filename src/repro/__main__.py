@@ -57,6 +57,10 @@ EXPERIMENTS = {
     "backends": backends.main,
 }
 
+#: Experiments whose main() accepts a repeatable seed axis; multi-seed
+#: runs report variance-aware mean±std aggregates over the seeds.
+SEEDED_EXPERIMENTS = frozenset({"table1", "fig8", "fig9", "backends"})
+
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -94,6 +98,12 @@ def main(argv=None) -> int:
                              "--list-backends); for the 'backends' "
                              "experiment, compare the default against "
                              "this one instead of all registered")
+    parser.add_argument("--seed", action="append", type=int,
+                        default=None, metavar="N",
+                        help="pipeline seed; repeatable — several "
+                             "seeds report every row as mean±std over "
+                             "the seed axis (table1/fig8/fig9/backends "
+                             "only; default: 0)")
     parser.add_argument("--list-backends", action="store_true",
                         help="list registered hardware backends and exit")
     args = parser.parse_args(argv)
@@ -113,13 +123,22 @@ def main(argv=None) -> int:
         except ValueError as error:
             parser.error(str(error))
 
+    if args.seed is not None \
+            and args.experiment not in SEEDED_EXPERIMENTS:
+        parser.error(f"--seed is not supported by "
+                     f"{args.experiment!r} (only "
+                     f"{', '.join(sorted(SEEDED_EXPERIMENTS))})")
+
     if args.experiment == "backends":
         backend = args.backend  # None = compare all registered
     else:
         backend = args.backend or DEFAULT_BACKEND_ID
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seeds"] = tuple(args.seed)
     EXPERIMENTS[args.experiment](scale=args.scale, jobs=args.jobs,
                                  cache_dir=args.cache_dir,
-                                 backend=backend)
+                                 backend=backend, **kwargs)
     return 0
 
 

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.report import PowerPruningReport
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
+from repro.experiments.stats import AggregateRow, aggregate_cell
 from repro.experiments.sweep import make_sweep_spec, run_sweep
 from repro.hw import DEFAULT_BACKEND_ID, get_backend, list_backends
 
@@ -46,6 +47,9 @@ class BackendComparison:
     spec: NetworkSpec
     scale: str
     rows: List[BackendRow]
+    #: Seed-aggregated statistics per backend; populated when the
+    #: comparison ran over more than one seed.
+    aggregates: Optional[List[AggregateRow]] = None
 
     def row(self, backend_id: str) -> BackendRow:
         for row in self.rows:
@@ -58,7 +62,8 @@ def run(scale: str = "ci",
         backend_ids: Optional[Sequence[str]] = None,
         spec: NetworkSpec = NETWORK_SPECS[0],
         seed: int = 0, jobs: Optional[int] = 1,
-        cache_dir=None, verbose: bool = False) -> BackendComparison:
+        cache_dir=None, verbose: bool = False,
+        seeds: Optional[Sequence[int]] = None) -> BackendComparison:
     """Run the full pipeline on ``spec`` once per backend.
 
     Args:
@@ -71,23 +76,31 @@ def run(scale: str = "ci",
         cache_dir: Shared on-disk artifact cache; backend-keyed, so
             re-runs and other experiments reuse unchanged stages.
         verbose: Log stage execution.
+        seeds: Several seeds per backend (overrides ``seed``); the
+            comparison then carries mean±std aggregates per backend
+            and the per-report rows use the first seed.
     """
     ids = list(backend_ids) if backend_ids else list_backends()
     backends = {backend_id: get_backend(backend_id)  # fail fast on typos
                 for backend_id in ids}
+    seed_axis = tuple(seeds) if seeds is not None else (seed,)
     sweep = make_sweep_spec("table1", backends=ids, networks=(spec,),
-                            seeds=(seed,), scale=scale)
+                            seeds=seed_axis, scale=scale)
     result = run_sweep(sweep, jobs=1, cache_dir=cache_dir,
                        char_jobs=1 if jobs is None else jobs,
                        verbose=verbose)
+    first_seed = result.sweep.seeds[0]
     rows = [BackendRow(
         backend_id=row.backend_id,
         description=backends[row.backend_id].description,
         mac_cells=sum(backends[row.backend_id].build_mac()
                       .cell_counts().values()),
         report=row.payload,
-    ) for row in result.rows]
-    return BackendComparison(spec=spec, scale=scale, rows=rows)
+    ) for row in result.rows_for(seed=first_seed)]
+    aggregates = (result.aggregate()
+                  if len(result.sweep.seeds) > 1 else None)
+    return BackendComparison(spec=spec, scale=scale, rows=rows,
+                             aggregates=aggregates)
 
 
 def format_comparison(comparison: BackendComparison) -> str:
@@ -111,6 +124,22 @@ def format_comparison(comparison: BackendComparison) -> str:
             f"{r.max_delay_reduction_ps:7.0f} ps "
             f"{r.voltage_label:>9}"
         )
+    if comparison.aggregates:
+        lines.append("")
+        lines.append(f"mean±std over seeds "
+                     f"({comparison.aggregates[0].n_seeds} seed(s) "
+                     f"per backend):")
+        lines.append(f"{'backend':<18} {'n':>3} {'acc.prop[%]':>12} "
+                     f"{'OptHW.prop[mW]':>15} {'red[%]':>12}")
+        for agg in comparison.aggregates:
+            cells = [aggregate_cell(agg, metric, fmt, scale)
+                     for metric, fmt, scale in (
+                         ("accuracy_prop", ".1f", 100.0),
+                         ("power_opt_prop_vs_mw", ".1f", 1.0),
+                         ("reduction_opt_pct", ".1f", 1.0))]
+            lines.append(f"{agg.backend_id:<18} {agg.n_seeds:>3} "
+                         f"{cells[0]:>12} {cells[1]:>15} "
+                         f"{cells[2]:>12}")
     lines.append("")
     for row in comparison.rows:
         lines.append(f"{row.backend_id}: {row.description}")
@@ -119,7 +148,8 @@ def format_comparison(comparison: BackendComparison) -> str:
 
 def main(scale: str = "ci", jobs: Optional[int] = 1,
          cache_dir=None,
-         backend: Optional[str] = None) -> BackendComparison:
+         backend: Optional[str] = None,
+         seeds: Optional[Sequence[int]] = None) -> BackendComparison:
     """CLI entry point.
 
     Without ``backend``, all registered backends are compared; with
@@ -131,7 +161,7 @@ def main(scale: str = "ci", jobs: Optional[int] = 1,
     elif backend is not None:
         ids = [DEFAULT_BACKEND_ID]
     comparison = run(scale, backend_ids=ids, jobs=jobs,
-                     cache_dir=cache_dir)
+                     cache_dir=cache_dir, seeds=seeds)
     print("=== Cross-backend comparison (Table I flow per backend) ===")
     print(format_comparison(comparison))
     return comparison

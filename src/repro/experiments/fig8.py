@@ -53,17 +53,39 @@ class Fig8Result:
 
 
 def result_from_sweep(result: SweepResult,
-                      backend_id: Optional[str] = None) -> Fig8Result:
-    """Per-network Fig. 8 panels from sweep rows (one backend)."""
+                      backend_id: Optional[str] = None,
+                      seed: Optional[int] = None) -> Fig8Result:
+    """Per-network Fig. 8 panels from sweep rows (one backend).
+
+    Panels are one point per threshold, so multi-seed sweep results
+    must be filtered to one ``seed`` (the first of the sweep by
+    default) — mean±std curves live on ``result.aggregate()`` instead.
+    """
+    if seed is None:
+        seed = result.sweep.seeds[0]
     points: Dict[str, List[Fig8Point]] = {
         spec.label: [] for spec in result.sweep.networks}
     for row in result.rows:
         if backend_id is not None and row.backend_id != backend_id:
             continue
-        if row.skipped is not None:
+        if row.seed != seed or row.skipped is not None:
             continue
         points[row.network].append(Fig8Point(**row.payload))
     return Fig8Result(points=points)
+
+
+def run_result(scale: str = "ci",
+               specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
+               thresholds: Sequence[Optional[float]] = DEFAULT_THRESHOLDS,
+               seeds: Sequence[int] = (0,), jobs: Optional[int] = 1,
+               cache_dir=None,
+               backend: str = DEFAULT_BACKEND_ID) -> SweepResult:
+    """The raw sweep result of the Fig. 8 grid; multi-seed callers
+    aggregate to mean±std curves via ``result.aggregate()``."""
+    sweep = make_sweep_spec("fig8", backends=(backend,), networks=specs,
+                            thresholds=thresholds, seeds=seeds,
+                            scale=scale)
+    return run_sweep(sweep, jobs=jobs, cache_dir=cache_dir)
 
 
 def run(scale: str = "ci",
@@ -79,11 +101,10 @@ def run(scale: str = "ci",
     them out across processes and ``cache_dir`` shares the stage-graph
     artifact cache (e.g. a previous Table I run's training prefix).
     """
-    sweep = make_sweep_spec("fig8", backends=(backend,), networks=specs,
-                            thresholds=thresholds, seeds=(seed,),
-                            scale=scale)
     return result_from_sweep(
-        run_sweep(sweep, jobs=jobs, cache_dir=cache_dir))
+        run_result(scale, specs=specs, thresholds=thresholds,
+                   seeds=(seed,), jobs=jobs, cache_dir=cache_dir,
+                   backend=backend))
 
 
 def format_series(result: Fig8Result) -> str:
@@ -111,11 +132,21 @@ def format_series(result: Fig8Result) -> str:
 
 def main(scale: str = "ci", all_networks: bool = False,
          jobs: Optional[int] = 1, cache_dir=None,
-         backend: str = DEFAULT_BACKEND_ID) -> Fig8Result:
+         backend: str = DEFAULT_BACKEND_ID,
+         seeds: Sequence[int] = (0,)) -> Fig8Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir,
-                 backend=backend)
     print("=== Fig. 8: power threshold vs accuracy tradeoff ===")
+    if len(tuple(seeds)) > 1:
+        # Multi-seed panels render through the sweep formatter: the
+        # per-seed rows plus the mean±std aggregate table and the
+        # error-band overlay chart.
+        sweep_result = run_result(scale, specs=specs, seeds=seeds,
+                                  jobs=jobs, cache_dir=cache_dir,
+                                  backend=backend)
+        print(sweep_engine.format_sweep(sweep_result))
+        return result_from_sweep(sweep_result)
+    result = run(scale, specs=specs, seed=tuple(seeds)[0], jobs=jobs,
+                 cache_dir=cache_dir, backend=backend)
     print(format_series(result))
     return result
 

@@ -53,17 +53,39 @@ class Fig9Result:
 
 
 def result_from_sweep(result: SweepResult,
-                      backend_id: Optional[str] = None) -> Fig9Result:
-    """Per-network Fig. 9 panels from sweep rows (one backend)."""
+                      backend_id: Optional[str] = None,
+                      seed: Optional[int] = None) -> Fig9Result:
+    """Per-network Fig. 9 panels from sweep rows (one backend).
+
+    Panels are one point per threshold, so multi-seed sweep results
+    must be filtered to one ``seed`` (the first of the sweep by
+    default) — mean±std curves live on ``result.aggregate()`` instead.
+    """
+    if seed is None:
+        seed = result.sweep.seeds[0]
     points: Dict[str, List[Fig9Point]] = {
         spec.label: [] for spec in result.sweep.networks}
     for row in result.rows:
         if backend_id is not None and row.backend_id != backend_id:
             continue
-        if row.skipped is not None:
+        if row.seed != seed or row.skipped is not None:
             continue
         points[row.network].append(Fig9Point(**row.payload))
     return Fig9Result(points=points)
+
+
+def run_result(scale: str = "ci",
+               specs: Sequence[NetworkSpec] = NETWORK_SPECS[:1],
+               thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+               seeds: Sequence[int] = (0,), jobs: Optional[int] = 1,
+               cache_dir=None,
+               backend: str = DEFAULT_BACKEND_ID) -> SweepResult:
+    """The raw sweep result of the Fig. 9 grid; multi-seed callers
+    aggregate to mean±std curves via ``result.aggregate()``."""
+    sweep = make_sweep_spec("fig9", backends=(backend,), networks=specs,
+                            thresholds=thresholds, seeds=seeds,
+                            scale=scale)
+    return run_sweep(sweep, jobs=jobs, cache_dir=cache_dir)
 
 
 def run(scale: str = "ci",
@@ -77,11 +99,10 @@ def run(scale: str = "ci",
     Grid points are independent — ``jobs`` fans them out across
     processes and ``cache_dir`` shares the stage-graph artifact cache.
     """
-    sweep = make_sweep_spec("fig9", backends=(backend,), networks=specs,
-                            thresholds=thresholds, seeds=(seed,),
-                            scale=scale)
     return result_from_sweep(
-        run_sweep(sweep, jobs=jobs, cache_dir=cache_dir))
+        run_result(scale, specs=specs, thresholds=thresholds,
+                   seeds=(seed,), jobs=jobs, cache_dir=cache_dir,
+                   backend=backend))
 
 
 def format_series(result: Fig9Result) -> str:
@@ -103,11 +124,21 @@ def format_series(result: Fig9Result) -> str:
 
 def main(scale: str = "ci", all_networks: bool = False,
          jobs: Optional[int] = 1, cache_dir=None,
-         backend: str = DEFAULT_BACKEND_ID) -> Fig9Result:
+         backend: str = DEFAULT_BACKEND_ID,
+         seeds: Sequence[int] = (0,)) -> Fig9Result:
     specs = NETWORK_SPECS if all_networks else NETWORK_SPECS[:1]
-    result = run(scale, specs=specs, jobs=jobs, cache_dir=cache_dir,
-                 backend=backend)
     print("=== Fig. 9: delay threshold vs accuracy tradeoff ===")
+    if len(tuple(seeds)) > 1:
+        # Multi-seed panels render through the sweep formatter: the
+        # per-seed rows plus the mean±std aggregate table and the
+        # error-band overlay chart.
+        sweep_result = run_result(scale, specs=specs, seeds=seeds,
+                                  jobs=jobs, cache_dir=cache_dir,
+                                  backend=backend)
+        print(sweep_engine.format_sweep(sweep_result))
+        return result_from_sweep(sweep_result)
+    result = run(scale, specs=specs, seed=tuple(seeds)[0], jobs=jobs,
+                 cache_dir=cache_dir, backend=backend)
     print(format_series(result))
     return result
 

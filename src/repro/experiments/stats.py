@@ -1,0 +1,188 @@
+"""Variance-aware aggregation of multi-seed sweep rows.
+
+A sweep grid with a seed axis produces one :class:`~repro.experiments
+.sweep.SweepRow` per seed, but the quantity the paper's tables and
+curves actually report is the *distribution* over seeds.  This module
+groups rows by everything except the seed — ``(experiment, backend,
+network, threshold, scale)`` — and reduces every numeric metric of each
+group to mean, population std (``numpy`` default, ``ddof=0``), min, max
+and the contributing sample count.
+
+Two invariants the consumers rely on:
+
+* **single-seed passthrough** — a group with one contributing row
+  reports that row's metric values bit-identically (no float round
+  trip through ``np.mean``), std 0.0 and ``n == 1``, so single-seed
+  sweeps render exactly as before;
+* **stable ordering** — groups appear in first-occurrence order of
+  their rows, and metric names in first-occurrence order across the
+  group's rows, so repeated aggregation of the same result is
+  deterministic down to column order.
+
+Skipped rows (too few survivors at a threshold) contribute no metric
+values; a group whose rows were *all* skipped keeps the first skip
+reason so tables can annotate the hole instead of dropping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.sweep import SweepRow
+
+__all__ = [
+    "AggregateRow",
+    "group_key",
+    "group_rows",
+    "aggregate_rows",
+    "format_mean_std",
+    "aggregate_cell",
+]
+
+#: Row fields that define a seed-aggregation group (everything except
+#: the seed and the per-run bookkeeping fields).
+GROUP_FIELDS: Tuple[str, ...] = (
+    "experiment", "backend_id", "network", "threshold", "scale",
+)
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One ``(backend, network, threshold)`` group reduced over seeds."""
+
+    experiment: str
+    backend_id: str
+    network: str
+    threshold: Optional[float]
+    scale: str
+    #: Every seed in the group, in row order (skipped seeds included).
+    seeds: Tuple[int, ...]
+    #: Rows that contributed metric values (``skipped is None``).
+    n_seeds: int
+    metrics_mean: Mapping[str, float]
+    metrics_std: Mapping[str, float]
+    metrics_min: Mapping[str, float]
+    metrics_max: Mapping[str, float]
+    #: Per-metric sample count (a metric may be absent from some rows).
+    metrics_n: Mapping[str, int]
+    #: Rows that produced no result at this grid point.
+    n_skipped: int = 0
+    #: First skip reason — set only when *every* row was skipped.
+    skipped: Optional[str] = None
+
+    def describe(self) -> str:
+        threshold = ("-" if self.threshold is None
+                     else f"{self.threshold:g}")
+        return (f"{self.experiment} aggregate [network={self.network} "
+                f"backend={self.backend_id} threshold={threshold} "
+                f"seeds={','.join(str(s) for s in self.seeds)}]")
+
+
+def group_key(row: "SweepRow") -> Tuple:
+    """The seed-invariant identity of a row (see :data:`GROUP_FIELDS`)."""
+    return tuple(getattr(row, name) for name in GROUP_FIELDS)
+
+
+def group_rows(rows: Sequence["SweepRow"]
+               ) -> Dict[Tuple, List["SweepRow"]]:
+    """Partition rows by :func:`group_key`, preserving first-occurrence
+    order of groups and row order within each group."""
+    groups: Dict[Tuple, List["SweepRow"]] = {}
+    for row in rows:
+        groups.setdefault(group_key(row), []).append(row)
+    return groups
+
+
+def _metric_names(rows: Sequence["SweepRow"]) -> List[str]:
+    names: Dict[str, None] = {}
+    for row in rows:
+        for name in row.metrics:
+            names.setdefault(name)
+    return list(names)
+
+
+def aggregate_rows(rows: Sequence["SweepRow"]) -> List[AggregateRow]:
+    """Reduce sweep rows to one :class:`AggregateRow` per seed group.
+
+    The returned list is a partition of ``rows``: every row lands in
+    exactly one group, and the union of all group ``seeds`` (with
+    multiplicity) is the input's seed column.
+    """
+    aggregates: List[AggregateRow] = []
+    for key, members in group_rows(rows).items():
+        live = [row for row in members if row.skipped is None]
+        skipped = [row for row in members if row.skipped is not None]
+        mean: Dict[str, float] = {}
+        std: Dict[str, float] = {}
+        low: Dict[str, float] = {}
+        high: Dict[str, float] = {}
+        count: Dict[str, int] = {}
+        for name in _metric_names(live):
+            values = [row.metrics[name] for row in live
+                      if name in row.metrics]
+            count[name] = len(values)
+            if len(values) == 1:
+                # Bit-identical passthrough: no np.mean round trip.
+                value = float(values[0])
+                mean[name] = value
+                std[name] = 0.0
+                low[name] = value
+                high[name] = value
+            else:
+                data = np.asarray(values, dtype=np.float64)
+                mean[name] = float(np.mean(data))
+                std[name] = float(np.std(data))
+                low[name] = float(np.min(data))
+                high[name] = float(np.max(data))
+        aggregates.append(AggregateRow(
+            **dict(zip(GROUP_FIELDS, key)),
+            seeds=tuple(row.seed for row in members),
+            n_seeds=len(live),
+            metrics_mean=mean,
+            metrics_std=std,
+            metrics_min=low,
+            metrics_max=high,
+            metrics_n=count,
+            n_skipped=len(skipped),
+            skipped=skipped[0].skipped if not live and skipped else None,
+        ))
+    return aggregates
+
+
+def format_mean_std(mean: float, std: float, fmt: str,
+                    scale: float = 1.0) -> str:
+    """Render ``mean ± std`` with a shared display format.
+
+    Integer formats (``"d"``) fall back to one decimal: the mean of
+    integer counts over seeds is rarely integral.
+    """
+    if fmt.endswith("d"):
+        fmt = ".1f"
+    return (f"{format(mean * scale, fmt)}"
+            f"±{format(std * scale, fmt)}")
+
+
+def aggregate_cell(agg: AggregateRow, metric: str, fmt: str,
+                   scale: float = 1.0) -> str:
+    """One aggregate metric as a ``mean±std`` table cell.
+
+    The shared cell renderer of every mean±std table (sweep, Table I,
+    backend comparison); ``-`` when the group has no value for the
+    metric (all contributing rows skipped or the metric absent).
+    """
+    if metric not in agg.metrics_mean:
+        return "-"
+    return format_mean_std(agg.metrics_mean[metric],
+                           agg.metrics_std[metric], fmt, scale)

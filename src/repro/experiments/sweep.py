@@ -61,6 +61,11 @@ from repro.experiments.parallel import (
     parallel_map,
 )
 from repro.experiments.runner import ExperimentContext
+from repro.experiments.stats import (
+    AggregateRow,
+    aggregate_cell,
+    aggregate_rows,
+)
 from repro.hw import DEFAULT_BACKEND_ID, HardwareBackend, get_backend
 
 __all__ = [
@@ -68,6 +73,7 @@ __all__ = [
     "SweepPoint",
     "SweepRow",
     "SweepResult",
+    "AggregateRow",
     "make_sweep_spec",
     "load_sweep_file",
     "expand",
@@ -635,6 +641,14 @@ class SweepResult:
                 and (network is None or row.network == network)
                 and (seed is None or row.seed == seed)]
 
+    def aggregate(self) -> List[AggregateRow]:
+        """Rows reduced over the seed axis (see
+        :mod:`repro.experiments.stats`): one :class:`AggregateRow` per
+        ``(backend, network, threshold)`` group, carrying mean / std /
+        min / max / n for every numeric metric.  Single-seed groups
+        pass their metric values through bit-identically."""
+        return aggregate_rows(self.rows)
+
     def tidy(self) -> List[Dict[str, Any]]:
         """One flat dict per grid point — ready for CSV/dataframes."""
         records = []
@@ -653,8 +667,38 @@ class SweepResult:
             records.append(record)
         return records
 
-    def write_csv(self, path) -> None:
-        records = self.tidy()
+    def tidy_aggregated(self) -> List[Dict[str, Any]]:
+        """One flat dict per seed group — the mean±std view.
+
+        Columns: the grid identity (seed axis collapsed to ``seeds``),
+        ``n_seeds``/``n_skipped``, then ``<metric>_mean``,
+        ``<metric>_std``, ``<metric>_min`` and ``<metric>_max`` per
+        numeric metric.
+        """
+        records = []
+        for agg in self.aggregate():
+            record: Dict[str, Any] = {
+                "experiment": agg.experiment,
+                "backend": agg.backend_id,
+                "network": agg.network,
+                "threshold": agg.threshold,
+                "scale": agg.scale,
+                "seeds": ";".join(str(s) for s in agg.seeds),
+                "n_seeds": agg.n_seeds,
+                "n_skipped": agg.n_skipped,
+                "skipped": agg.skipped or "",
+            }
+            for name in agg.metrics_mean:
+                record[f"{name}_mean"] = agg.metrics_mean[name]
+                record[f"{name}_std"] = agg.metrics_std[name]
+                record[f"{name}_min"] = agg.metrics_min[name]
+                record[f"{name}_max"] = agg.metrics_max[name]
+            records.append(record)
+        return records
+
+    def write_csv(self, path, aggregated: bool = False) -> None:
+        records = (self.tidy_aggregated() if aggregated
+                   else self.tidy())
         columns: List[str] = []
         for record in records:
             for name in record:
@@ -671,9 +715,20 @@ def _threshold_label(threshold: Optional[float]) -> str:
     return "None" if threshold is None else f"{threshold:g}"
 
 
-def _series_label(row: SweepRow, many_seeds: bool) -> str:
-    return (f"{row.backend_id} s{row.seed}" if many_seeds
-            else row.backend_id)
+def _series_label(row: SweepRow, many_seeds: bool,
+                  many_networks: bool = False) -> str:
+    """Overlay series identity of a row.
+
+    The network is part of the label whenever the charted rows span
+    more than one network — without it, same-backend rows of distinct
+    networks collapse into one colliding series.
+    """
+    label = row.backend_id
+    if many_networks:
+        label += f" {row.network}"
+    if many_seeds:
+        label += f" s{row.seed}"
+    return label
 
 
 def _format_cell(value: float, fmt: str, scale: float) -> str:
@@ -689,8 +744,9 @@ def _metric_matrix(rows: Sequence[SweepRow], metric: str, title: str,
     per threshold — the figure panel as a text chart."""
     thresholds = list(dict.fromkeys(row.threshold for row in rows))
     many_seeds = len({row.seed for row in rows}) > 1
-    series = list(dict.fromkeys(_series_label(row, many_seeds)
-                                for row in rows))
+    many_networks = len({row.network for row in rows}) > 1
+    series = list(dict.fromkeys(
+        _series_label(row, many_seeds, many_networks) for row in rows))
     width = max(8, max(len(_threshold_label(t)) for t in thresholds) + 2)
     label_width = max(len(s) for s in series)
     lines = [title,
@@ -701,14 +757,49 @@ def _metric_matrix(rows: Sequence[SweepRow], metric: str, title: str,
         for threshold in thresholds:
             cell = "-"
             for row in rows:
-                if (_series_label(row, many_seeds) == name
-                        and row.threshold == threshold):
+                if (_series_label(row, many_seeds, many_networks)
+                        == name and row.threshold == threshold):
                     if row.skipped is None and metric in row.metrics:
                         cell = _format_cell(row.metrics[metric], fmt,
                                             scale)
                     break
             cells.append(f"{cell:>{width}}")
         lines.append(f"{name:<{label_width}} |" + "".join(cells))
+    return lines
+
+
+def _aggregate_series_label(agg: AggregateRow,
+                            many_networks: bool) -> str:
+    return (f"{agg.backend_id} {agg.network}" if many_networks
+            else agg.backend_id)
+
+
+def _aggregate_matrix(aggregates: Sequence[AggregateRow], metric: str,
+                      title: str, fmt: str,
+                      scale: float = 1.0) -> List[str]:
+    """Error-band overlay: one ``mean±std`` cell per (series,
+    threshold), the std band computed over the seed axis."""
+    thresholds = list(dict.fromkeys(a.threshold for a in aggregates))
+    many_networks = len({a.network for a in aggregates}) > 1
+    series = list(dict.fromkeys(
+        _aggregate_series_label(a, many_networks) for a in aggregates))
+    cells: Dict[Tuple[str, Optional[float]], str] = {}
+    for agg in aggregates:
+        slot = (_aggregate_series_label(agg, many_networks),
+                agg.threshold)
+        cells.setdefault(slot, aggregate_cell(agg, metric, fmt, scale))
+    width = max(10, max(len(c) for c in cells.values()) + 2) \
+        if cells else 10
+    width = max(width,
+                max(len(_threshold_label(t)) for t in thresholds) + 2)
+    label_width = max(len(s) for s in series)
+    lines = [title,
+             " " * label_width + " |" + "".join(
+                 f"{_threshold_label(t):>{width}}" for t in thresholds)]
+    for name in series:
+        row_cells = [f"{cells.get((name, t), '-'):>{width}}"
+                     for t in thresholds]
+        lines.append(f"{name:<{label_width}} |" + "".join(row_cells))
     return lines
 
 
@@ -728,6 +819,14 @@ _DETAIL_COLUMNS: Dict[str, List[Tuple[str, str, str, float]]] = {
                ("delay_reduction_ps", "dly.red[ps]", ".0f", 1.0)],
 }
 
+def detail_columns(experiment: str
+                   ) -> Tuple[Tuple[str, str, str, float], ...]:
+    """The ``(metric, header, format, scale)`` display columns of one
+    experiment's rows — the single source derived tables (e.g. the
+    variance-aware Table I) build on."""
+    return tuple(_DETAIL_COLUMNS[experiment])
+
+
 #: The headline metric charted per experiment.
 _PRIMARY_METRIC: Dict[str, Tuple[str, str, str, float]] = {
     "fig8": ("accuracy", "accuracy[%]", ".1f", 100.0),
@@ -736,10 +835,41 @@ _PRIMARY_METRIC: Dict[str, Tuple[str, str, str, float]] = {
 }
 
 
+def _format_aggregate_table(aggregates: Sequence[AggregateRow],
+                            columns: Sequence[Tuple[str, str, str,
+                                                    float]]
+                            ) -> List[str]:
+    """Per-group ``mean±std`` table (one line per backend x threshold)."""
+    width = 15
+    lines = [f"{'backend':<18} {'thr':>8} {'n':>3} "
+             + " ".join(f"{title:>{width}}"
+                        for __, title, __, __ in columns)]
+    for agg in aggregates:
+        cells = [f"{aggregate_cell(agg, metric, fmt, scale):>{width}}"
+                 for metric, __, fmt, scale in columns]
+        line = (f"{agg.backend_id:<18} "
+                f"{_threshold_label(agg.threshold):>8} "
+                f"{agg.n_seeds:>3} " + " ".join(cells))
+        if agg.skipped is not None:
+            line += f"   (skipped: {agg.skipped})"
+        elif agg.n_skipped:
+            line += f"   ({agg.n_skipped} seed(s) skipped)"
+        lines.append(line)
+    return lines
+
+
 def format_sweep(result: SweepResult) -> str:
-    """Combined per-backend result table plus overlay chart."""
+    """Combined per-backend result table plus overlay chart.
+
+    Multi-seed sweeps additionally render, per network, the aggregated
+    ``mean±std`` table over the seed axis and chart the primary metric
+    with per-series ``mean±std`` error bands instead of one series per
+    seed.
+    """
     sweep = result.sweep
     columns = _DETAIL_COLUMNS[sweep.experiment]
+    many_seeds = len({row.seed for row in result.rows}) > 1
+    aggregates = result.aggregate() if many_seeds else []
     lines = [f"=== sweep: {sweep.describe()} "
              f"({len(result.rows)} grid points) ==="]
     for spec in sweep.networks:
@@ -766,12 +896,26 @@ def format_sweep(result: SweepResult) -> str:
             if row.skipped is not None:
                 line += f"   (skipped: {row.skipped})"
             lines.append(line)
+        net_aggregates = [agg for agg in aggregates
+                          if agg.network == spec.label]
+        if net_aggregates:
+            lines.append("")
+            lines.append(f"aggregated over "
+                         f"{len(set(sweep.seeds))} seeds (mean±std):")
+            lines.extend(_format_aggregate_table(net_aggregates,
+                                                 columns))
         if len(sweep.thresholds) > 1:
             metric, title, fmt, scale = _PRIMARY_METRIC[sweep.experiment]
             lines.append("")
-            lines.extend(_metric_matrix(
-                rows, metric,
-                f"{title} by backend x threshold:", fmt, scale))
+            if net_aggregates:
+                lines.extend(_aggregate_matrix(
+                    net_aggregates, metric,
+                    f"{title} (mean±std over seeds) by backend x "
+                    f"threshold:", fmt, scale))
+            else:
+                lines.extend(_metric_matrix(
+                    rows, metric,
+                    f"{title} by backend x threshold:", fmt, scale))
     n_cached = sum(1 for row in result.rows if row.cached)
     n_skipped = sum(1 for row in result.rows if row.skipped is not None)
     summary = (f"progress: {len(result.rows)} point(s) done - "
@@ -964,19 +1108,36 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--csv", default=None, metavar="FILE",
                         help="also write the tidy per-point table as "
                              "CSV")
+    parser.add_argument("--aggregate-csv", default=None, metavar="FILE",
+                        help="also write the seed-aggregated table "
+                             "(*_mean/*_std/*_min/*_max + n_seeds "
+                             "columns, one row per backend x network "
+                             "x threshold group) as CSV")
     args = parser.parse_args(argv)
 
     try:
         if args.spec is not None:
+            # Explicit flags override spec-file entries.  The merge
+            # must be `is not None`, never truthiness: a legitimately
+            # falsy override (e.g. the single unrestricted point
+            # `--threshold none` -> (None,)) would otherwise be
+            # conflated with "flag not given" and silently lose to the
+            # spec file.
             base = load_sweep_file(args.spec)
             sweep = make_sweep_spec(
-                args.experiment or base.experiment,
-                backends=args.backend or base.backends,
-                networks=args.network or base.networks,
-                thresholds=(tuple(args.threshold) if args.threshold
+                (args.experiment if args.experiment is not None
+                 else base.experiment),
+                backends=(args.backend if args.backend is not None
+                          else base.backends),
+                networks=(args.network if args.network is not None
+                          else base.networks),
+                thresholds=(tuple(args.threshold)
+                            if args.threshold is not None
                             else base.thresholds),
-                seeds=args.seed or base.seeds,
-                scale=args.scale or base.scale,
+                seeds=(args.seed if args.seed is not None
+                       else base.seeds),
+                scale=(args.scale if args.scale is not None
+                       else base.scale),
             )
         else:
             if args.experiment is None:
@@ -986,10 +1147,10 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                 args.experiment,
                 backends=args.backend,
                 networks=args.network,
-                thresholds=(tuple(args.threshold) if args.threshold
-                            else None),
+                thresholds=(tuple(args.threshold)
+                            if args.threshold is not None else None),
                 seeds=args.seed,
-                scale=args.scale or "ci",
+                scale=args.scale if args.scale is not None else "ci",
             )
         for backend in sweep.backends:
             if isinstance(backend, str):
@@ -1003,6 +1164,9 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv:
         result.write_csv(args.csv)
         print(f"tidy table written to {args.csv}")
+    if args.aggregate_csv:
+        result.write_csv(args.aggregate_csv, aggregated=True)
+        print(f"aggregated table written to {args.aggregate_csv}")
     return 0
 
 

@@ -16,7 +16,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.report import PowerPruningReport, format_table1
 from repro.experiments.config import NETWORK_SPECS, NetworkSpec
-from repro.experiments.sweep import make_sweep_spec, run_sweep
+from repro.experiments.stats import AggregateRow, aggregate_cell
+from repro.experiments.sweep import (
+    SweepResult,
+    detail_columns,
+    make_sweep_spec,
+    run_sweep,
+)
 from repro.hw import DEFAULT_BACKEND_ID
 
 #: The paper's Table I, for side-by-side reporting.
@@ -52,22 +58,39 @@ PAPER_TABLE1: Dict[str, Dict[str, object]] = {
 }
 
 
+def run_result(scale: str = "ci",
+               specs: Sequence[NetworkSpec] = NETWORK_SPECS,
+               verbose: bool = False, jobs: Optional[int] = 1,
+               cache_dir=None,
+               backend: str = DEFAULT_BACKEND_ID,
+               seeds: Sequence[int] = (0,)) -> SweepResult:
+    """The raw sweep result of the Table I grid (one row per
+    network x seed); multi-seed callers aggregate via
+    ``result.aggregate()``."""
+    sweep = make_sweep_spec("table1", backends=(backend,),
+                            networks=specs, seeds=seeds, scale=scale)
+    return run_sweep(sweep, jobs=jobs, cache_dir=cache_dir,
+                     verbose=verbose)
+
+
 def run(scale: str = "ci",
         specs: Sequence[NetworkSpec] = NETWORK_SPECS,
         verbose: bool = False, jobs: Optional[int] = 1,
         cache_dir=None,
-        backend: str = DEFAULT_BACKEND_ID) -> List[PowerPruningReport]:
+        backend: str = DEFAULT_BACKEND_ID,
+        seeds: Sequence[int] = (0,)) -> List[PowerPruningReport]:
     """Run the full pipeline for every spec; returns the reports.
 
     Rows are independent: ``jobs`` fans them out across processes
     (``0`` = all cores), and ``cache_dir`` shares the stage-graph
     artifact cache between rows, runs and workers.  ``backend``
     selects the hardware backend all rows characterize against.
+    With several ``seeds`` the returned list covers every
+    network x seed combination in sweep expansion order.
     """
-    sweep = make_sweep_spec("table1", backends=(backend,),
-                            networks=specs, scale=scale)
-    result = run_sweep(sweep, jobs=jobs, cache_dir=cache_dir,
-                       verbose=verbose)
+    result = run_result(scale, specs=specs, verbose=verbose, jobs=jobs,
+                        cache_dir=cache_dir, backend=backend,
+                        seeds=seeds)
     return [row.payload for row in result.rows]
 
 
@@ -91,11 +114,51 @@ def format_with_reference(reports: List[PowerPruningReport]) -> str:
     return "\n".join(lines)
 
 
+#: Variance-aware Table I columns: the sweep engine's table1 display
+#: columns (single source) plus the selected-value counts.
+_VARIANCE_COLUMNS = detail_columns("table1") + (
+    ("n_weights", "#wei", "d", 1.0),
+    ("n_activations", "#act", "d", 1.0),
+)
+
+
+def format_table1_variance(aggregates: Sequence[AggregateRow]) -> str:
+    """The variance-aware Table I: every cell is mean±std over seeds."""
+    header = ["network", "n"] + [title for __, title, __, __
+                                 in _VARIANCE_COLUMNS]
+    rows = [header]
+    for agg in aggregates:
+        cells = [agg.network, str(agg.n_seeds)]
+        cells += [aggregate_cell(agg, metric, fmt, scale)
+                  for metric, __, fmt, scale in _VARIANCE_COLUMNS]
+        rows.append(cells)
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(" | ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
 def main(scale: str = "ci", jobs: Optional[int] = 1,
          cache_dir=None,
-         backend: str = DEFAULT_BACKEND_ID) -> List[PowerPruningReport]:
-    reports = run(scale, jobs=jobs, cache_dir=cache_dir, backend=backend)
-    print(format_with_reference(reports))
+         backend: str = DEFAULT_BACKEND_ID,
+         seeds: Sequence[int] = (0,)) -> List[PowerPruningReport]:
+    result = run_result(scale, jobs=jobs, cache_dir=cache_dir,
+                        backend=backend, seeds=seeds)
+    reports = [row.payload for row in result.rows]
+    if len(result.sweep.seeds) > 1:
+        print(f"=== Table I (this reproduction, mean±std over "
+              f"{len(result.sweep.seeds)} seeds) ===")
+        print(format_table1_variance(result.aggregate()))
+        print()
+        print(f"=== detail: seed {result.sweep.seeds[0]} ===")
+    print(format_with_reference(
+        [row.payload for row in result.rows_for(
+            seed=result.sweep.seeds[0])]))
     return reports
 
 

@@ -35,8 +35,10 @@ from repro.sim.dynamic_timing import (
 )
 from repro.sim.static_timing import (
     static_arrival_times,
+    static_arrival_times_reference,
     static_max_delay,
     time_to_outputs,
+    time_to_outputs_reference,
 )
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "dynamic_arrival_times_reference",
     "dynamic_delays",
     "static_arrival_times",
+    "static_arrival_times_reference",
     "static_max_delay",
     "time_to_outputs",
+    "time_to_outputs_reference",
 ]

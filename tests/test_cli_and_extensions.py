@@ -51,6 +51,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "delay profiles" in out
 
+    def test_seed_rejected_for_unseeded_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--seed", "1"])
+
+    @pytest.mark.parametrize("experiment", ["table1", "fig8", "fig9",
+                                            "backends"])
+    def test_seed_axis_reaches_seeded_experiments(self, experiment,
+                                                  monkeypatch):
+        calls = {}
+
+        def recorder(**kwargs):
+            calls.update(kwargs)
+
+        monkeypatch.setitem(EXPERIMENTS, experiment, recorder)
+        assert main([experiment, "--scale", "smoke",
+                     "--seed", "0", "--seed", "1"]) == 0
+        assert calls["seeds"] == (0, 1)
+        assert calls["scale"] == "smoke"
+
+    def test_no_seed_flag_keeps_default_signature(self, monkeypatch):
+        calls = {}
+
+        def recorder(**kwargs):
+            calls.update(kwargs)
+
+        monkeypatch.setitem(EXPERIMENTS, "table1", recorder)
+        assert main(["table1", "--scale", "smoke"]) == 0
+        assert "seeds" not in calls
+
 
 def _report():
     def pb(dyn, leak):

@@ -1,0 +1,212 @@
+"""Property tests for variance-aware multi-seed aggregation.
+
+The aggregation layer (:mod:`repro.experiments.stats`) sits between the
+sweep engine and every consumer of its rows (tables, charts, CSV), so
+its invariants are pinned with hypothesis:
+
+* grouping is a partition of the input rows;
+* mean/std/min/max match numpy on the grouped values;
+* a single-seed group passes its metrics through bit-identically;
+* ordering is stable and deterministic (first-occurrence order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    GROUP_FIELDS,
+    aggregate_rows,
+    format_mean_std,
+    group_key,
+    group_rows,
+)
+from repro.experiments.sweep import SweepRow
+
+_METRIC_NAMES = ("accuracy", "n_weights", "power_opt_mw")
+_VALUES = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def _sweep_rows(draw):
+    """Interleaved rows over a few synthetic seed groups."""
+    backends = draw(st.lists(
+        st.sampled_from(("booth", "array", "ripple")),
+        min_size=1, max_size=2, unique=True))
+    networks = draw(st.lists(st.sampled_from(("lenet5", "resnet20")),
+                             min_size=1, max_size=2, unique=True))
+    thresholds = draw(st.lists(
+        st.sampled_from((None, 800.0, 900.0)),
+        min_size=1, max_size=2, unique=True))
+    seeds = draw(st.lists(st.integers(0, 9), min_size=1, max_size=4,
+                          unique=True))
+    rows = []
+    for backend in backends:
+        for network in networks:
+            for threshold in thresholds:
+                for seed in seeds:
+                    skipped = draw(st.sampled_from(
+                        (None, None, None, "too few survivors")))
+                    metrics = {} if skipped else {
+                        name: draw(_VALUES)
+                        for name in _METRIC_NAMES}
+                    rows.append(SweepRow(
+                        experiment="fig8", backend_id=backend,
+                        network=network, threshold=threshold,
+                        seed=seed, scale="smoke", payload=None,
+                        metrics=metrics, skipped=skipped))
+    permutation = draw(st.permutations(range(len(rows))))
+    return [rows[i] for i in permutation]
+
+
+class TestGroupingIsAPartition:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_every_row_lands_in_exactly_one_group(self, rows):
+        groups = group_rows(rows)
+        members = [row for group in groups.values() for row in group]
+        assert len(members) == len(rows)
+        assert {id(row) for row in members} == {id(row) for row in rows}
+        for key, group in groups.items():
+            for row in group:
+                assert group_key(row) == key
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_aggregate_covers_every_seed_with_multiplicity(self, rows):
+        aggregates = aggregate_rows(rows)
+        keys = [(a.experiment, a.backend_id, a.network, a.threshold,
+                 a.scale) for a in aggregates]
+        assert len(set(keys)) == len(keys)
+        got = [(key, seed) for a, key in zip(aggregates, keys)
+               for seed in a.seeds]
+        want = [(group_key(row), row.seed) for row in rows]
+        assert sorted(got, key=repr) == sorted(want, key=repr)
+
+
+class TestStatisticsMatchNumpy:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_mean_std_min_max_match_numpy_exactly(self, rows):
+        aggregates = aggregate_rows(rows)
+        for agg in aggregates:
+            members = [row for row in rows
+                       if group_key(row) == (agg.experiment,
+                                             agg.backend_id,
+                                             agg.network,
+                                             agg.threshold, agg.scale)]
+            live = [row for row in members if row.skipped is None]
+            assert agg.n_seeds == len(live)
+            assert agg.n_skipped == len(members) - len(live)
+            for name in agg.metrics_mean:
+                values = [row.metrics[name] for row in live
+                          if name in row.metrics]
+                assert agg.metrics_n[name] == len(values)
+                assert agg.metrics_mean[name] == float(np.mean(values))
+                assert agg.metrics_std[name] == float(np.std(values))
+                assert agg.metrics_min[name] == float(np.min(values))
+                assert agg.metrics_max[name] == float(np.max(values))
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_all_live_metrics_are_aggregated(self, rows):
+        aggregates = aggregate_rows(rows)
+        by_key = {(a.experiment, a.backend_id, a.network, a.threshold,
+                   a.scale): a for a in aggregates}
+        for row in rows:
+            if row.skipped is not None:
+                continue
+            agg = by_key[group_key(row)]
+            for name in row.metrics:
+                assert name in agg.metrics_mean
+
+
+class TestSingleSeedPassthrough:
+    @settings(max_examples=50, deadline=None)
+    @given(metrics=st.dictionaries(st.sampled_from(_METRIC_NAMES),
+                                   _VALUES, min_size=1),
+           seed=st.integers(0, 99))
+    def test_single_row_is_bit_identical(self, metrics, seed):
+        row = SweepRow(experiment="fig8", backend_id="booth",
+                       network="lenet5", threshold=900.0, seed=seed,
+                       scale="smoke", payload=None, metrics=metrics,
+                       skipped=None)
+        (agg,) = aggregate_rows([row])
+        assert agg.metrics_mean == metrics
+        assert agg.metrics_min == metrics
+        assert agg.metrics_max == metrics
+        assert agg.metrics_std == {name: 0.0 for name in metrics}
+        assert agg.metrics_n == {name: 1 for name in metrics}
+        assert agg.seeds == (seed,)
+        assert agg.n_seeds == 1
+        assert agg.skipped is None
+
+
+class TestStableOrdering:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_aggregation_is_deterministic(self, rows):
+        assert aggregate_rows(rows) == aggregate_rows(rows)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_groups_in_first_occurrence_order(self, rows):
+        seen = []
+        for row in rows:
+            key = group_key(row)
+            if key not in seen:
+                seen.append(key)
+        aggregates = aggregate_rows(rows)
+        assert [(a.experiment, a.backend_id, a.network, a.threshold,
+                 a.scale) for a in aggregates] == seen
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_sweep_rows())
+    def test_metric_columns_in_first_occurrence_order(self, rows):
+        for agg in aggregate_rows(rows):
+            names = list(agg.metrics_mean)
+            assert list(agg.metrics_std) == names
+            assert list(agg.metrics_min) == names
+            assert list(agg.metrics_max) == names
+            assert list(agg.metrics_n) == names
+
+
+class TestSkippedGroups:
+    def _row(self, seed, skipped=None, metrics=None):
+        return SweepRow(experiment="fig8", backend_id="booth",
+                        network="lenet5", threshold=800.0, seed=seed,
+                        scale="smoke", payload=None,
+                        metrics=metrics or {}, skipped=skipped)
+
+    def test_fully_skipped_group_keeps_first_reason(self):
+        rows = [self._row(0, skipped="reason A"),
+                self._row(1, skipped="reason B")]
+        (agg,) = aggregate_rows(rows)
+        assert agg.n_seeds == 0
+        assert agg.n_skipped == 2
+        assert agg.skipped == "reason A"
+        assert agg.metrics_mean == {}
+
+    def test_partially_skipped_group_aggregates_the_rest(self):
+        rows = [self._row(0, metrics={"accuracy": 0.5}),
+                self._row(1, skipped="gone"),
+                self._row(2, metrics={"accuracy": 0.7})]
+        (agg,) = aggregate_rows(rows)
+        assert agg.n_seeds == 2
+        assert agg.n_skipped == 1
+        assert agg.skipped is None
+        assert agg.metrics_mean["accuracy"] == pytest.approx(0.6)
+        assert agg.metrics_n["accuracy"] == 2
+
+
+class TestFormatMeanStd:
+    def test_float_format(self):
+        assert format_mean_std(0.784, 0.012, ".1f", 100.0) == "78.4±1.2"
+
+    def test_integer_format_falls_back_to_one_decimal(self):
+        assert format_mean_std(32.5, 0.5, "d") == "32.5±0.5"
+
+    def test_group_fields_cover_everything_but_the_seed(self):
+        assert GROUP_FIELDS == ("experiment", "backend_id", "network",
+                                "threshold", "scale")

@@ -463,6 +463,280 @@ class TestParallelTaskErrors:
         assert seen == [0]
 
 
+class TestSeriesLabels:
+    """Overlay series must never collide across networks (regression:
+    the label used to omit the network entirely)."""
+
+    def _row(self, backend, network, threshold, seed=0, value=0.5):
+        return sweep_mod.SweepRow(
+            experiment="fig8", backend_id=backend, network=network,
+            threshold=threshold, seed=seed, scale="smoke",
+            payload=None, metrics={"accuracy": value}, skipped=None)
+
+    def test_multi_network_rows_get_distinct_series(self):
+        rows = [
+            self._row("nangate15-booth", "LeNet-5-CIFAR-10", 900.0,
+                      value=0.25),
+            self._row("nangate15-booth", "ResNet-20-CIFAR-10", 900.0,
+                      value=0.75),
+        ]
+        lines = sweep_mod._metric_matrix(rows, "accuracy", "chart:",
+                                         ".1f", 100.0)
+        series_lines = lines[2:]
+        assert len(series_lines) == 2  # one series per network
+        assert any("LeNet-5-CIFAR-10" in line for line in series_lines)
+        assert any("ResNet-20-CIFAR-10" in line
+                   for line in series_lines)
+        # Both values survive: nothing was collapsed into one series.
+        assert any("25.0" in line for line in series_lines)
+        assert any("75.0" in line for line in series_lines)
+
+    def test_single_network_label_unchanged(self):
+        rows = [self._row("nangate15-booth", "LeNet-5-CIFAR-10", 900.0),
+                self._row("nangate15-array", "LeNet-5-CIFAR-10", 900.0)]
+        lines = sweep_mod._metric_matrix(rows, "accuracy", "chart:",
+                                         ".1f", 100.0)
+        assert any(line.startswith("nangate15-booth ")
+                   for line in lines)
+        assert not any("LeNet" in line for line in lines[1:])
+
+    def test_seed_and_network_compose_in_label(self):
+        row = self._row("b", "netA", 900.0, seed=3)
+        assert sweep_mod._series_label(row, True, True) == "b netA s3"
+        assert sweep_mod._series_label(row, False, True) == "b netA"
+        assert sweep_mod._series_label(row, True, False) == "b s3"
+        assert sweep_mod._series_label(row, False, False) == "b"
+
+
+class TestAggregatedResults:
+    def test_aggregate_and_tidy_aggregated_columns(
+            self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 800.0),
+                               seeds=(0, 1), scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        aggregates = result.aggregate()
+        assert [(a.threshold, a.n_seeds) for a in aggregates] == [
+            (700.0, 2), (800.0, 2)]
+        # Echo runner: accuracy = threshold + seed, so mean/std are
+        # exactly computable.
+        assert aggregates[0].metrics_mean["accuracy"] == 700.5
+        assert aggregates[0].metrics_std["accuracy"] == 0.5
+        assert aggregates[0].seeds == (0, 1)
+        tidy = result.tidy_aggregated()
+        assert tidy[0]["n_seeds"] == 2
+        assert tidy[0]["seeds"] == "0;1"
+        assert tidy[0]["accuracy_mean"] == 700.5
+        assert tidy[0]["accuracy_std"] == 0.5
+        assert tidy[0]["accuracy_min"] == 700.0
+        assert tidy[0]["accuracy_max"] == 701.0
+
+    def test_single_seed_aggregate_is_bit_identical(
+            self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment, thresholds=(700.0,),
+                               scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        (agg,) = result.aggregate()
+        assert agg.metrics_mean == dict(result.rows[0].metrics)
+        assert agg.metrics_std == {name: 0.0
+                                   for name in result.rows[0].metrics}
+
+    def test_multi_seed_format_has_mean_std_table_and_error_bands(
+            self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 800.0),
+                               seeds=(0, 1), scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        rendered = sweep_mod.format_sweep(result)
+        assert "aggregated over 2 seeds (mean±std):" in rendered
+        assert "700.5±0.5" in rendered  # accuracy cell, mean±std
+        assert "(mean±std over seeds) by backend x threshold:" \
+            in rendered
+
+    def test_single_seed_format_unchanged(self, echo_experiment):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 800.0),
+                               scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        rendered = sweep_mod.format_sweep(result)
+        assert "±" not in rendered
+        assert "aggregated over" not in rendered
+
+    def test_aggregated_csv_export(self, echo_experiment, tmp_path):
+        spec = make_sweep_spec(echo_experiment,
+                               thresholds=(700.0, 666.0),
+                               seeds=(0, 1), scale="smoke")
+        result = run_sweep(spec, jobs=1, store=ArtifactStore())
+        path = tmp_path / "agg.csv"
+        result.write_csv(path, aggregated=True)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 threshold groups
+        header = lines[0].split(",")
+        for column in ("n_seeds", "accuracy_mean", "accuracy_std",
+                       "accuracy_min", "accuracy_max"):
+            assert column in header
+        n_seeds_at = header.index("n_seeds")
+        assert lines[1].split(",")[n_seeds_at] == "2"
+        # The fully skipped threshold group keeps its reason.
+        assert "synthetic skip" in lines[2]
+
+
+class TestFigureAdaptersMultiSeed:
+    """fig8/fig9 panels are one point per threshold: a multi-seed sweep
+    result must be filtered to a single seed, not interleaved."""
+
+    def _fig8_result(self):
+        spec = make_sweep_spec("fig8", thresholds=(None, 900.0),
+                               seeds=(0, 1), scale="smoke")
+        rows = [sweep_mod.SweepRow(
+            experiment="fig8", backend_id=p.backend.backend_id,
+            network=p.spec.label, threshold=p.threshold, seed=p.seed,
+            scale=p.scale,
+            payload={"threshold_uw": p.threshold, "n_weights": 10,
+                     "accuracy": 0.5 + p.seed, "power_opt": None},
+            metrics={"accuracy": 0.5 + p.seed}, skipped=None)
+            for p in expand(spec)]
+        return sweep_mod.SweepResult(sweep=spec, rows=rows)
+
+    def test_fig8_panels_keep_one_point_per_threshold(self):
+        from repro.experiments import fig8
+
+        result = fig8.result_from_sweep(self._fig8_result())
+        (series,) = result.points.values()
+        assert [p.threshold_uw for p in series] == [None, 900.0]
+        assert all(p.accuracy == 0.5 for p in series)  # first seed
+
+    def test_fig8_panels_honor_explicit_seed(self):
+        from repro.experiments import fig8
+
+        result = fig8.result_from_sweep(self._fig8_result(), seed=1)
+        (series,) = result.points.values()
+        assert [p.threshold_uw for p in series] == [None, 900.0]
+        assert all(p.accuracy == 1.5 for p in series)
+
+
+class _SpecCapture:
+    """Stands in for run_sweep in CLI tests: records the spec, returns
+    an empty-but-renderable result."""
+
+    def __init__(self):
+        self.sweep = None
+
+    def __call__(self, sweep, **kwargs):
+        self.sweep = sweep
+        points = expand(sweep)
+        rows = [sweep_mod.SweepRow(
+            experiment=p.experiment, backend_id=p.backend.backend_id,
+            network=p.spec.label, threshold=p.threshold, seed=p.seed,
+            scale=p.scale, payload=None,
+            metrics={"accuracy": 0.5, "n_weights": 1,
+                     "power_opt_mw": 1.0},
+            skipped=None) for p in points]
+        return sweep_mod.SweepResult(sweep=sweep, rows=rows)
+
+
+@pytest.fixture()
+def capture_cli_sweep(monkeypatch):
+    capture = _SpecCapture()
+    monkeypatch.setattr(sweep_mod, "run_sweep", capture)
+    return capture
+
+
+class TestCliSpecOverrides:
+    """--spec merging must use `is not None`, never truthiness, so a
+    legitimately falsy flag value (e.g. `--threshold none`) overrides
+    the spec file (regression tests, one per overridable axis)."""
+
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "experiment": "fig8",
+            "backends": ["nangate15-array"],
+            "networks": ["resnet20"],
+            "thresholds": [900.0, 850.0],
+            "seeds": [7],
+            "scale": "ci",
+        }))
+        return str(path)
+
+    def test_spec_alone_is_used_verbatim(self, capture_cli_sweep,
+                                         spec_file, capsys):
+        assert sweep_mod.cli_main(["--spec", spec_file]) == 0
+        sweep = capture_cli_sweep.sweep
+        assert sweep.experiment == "fig8"
+        assert sweep.backends == ("nangate15-array",)
+        assert [n.network for n in sweep.networks] == ["resnet20"]
+        assert sweep.thresholds == (900.0, 850.0)
+        assert sweep.seeds == (7,)
+        assert sweep.scale == "ci"
+
+    def test_threshold_none_overrides_spec(self, capture_cli_sweep,
+                                           spec_file, capsys):
+        """The falsy regression: one unrestricted point must win."""
+        sweep_mod.cli_main(["--spec", spec_file,
+                            "--threshold", "none"])
+        assert capture_cli_sweep.sweep.thresholds == (None,)
+
+    def test_experiment_flag_overrides_spec(self, capture_cli_sweep,
+                                            spec_file, capsys):
+        sweep_mod.cli_main(["--spec", spec_file,
+                            "--experiment", "fig9",
+                            "--threshold", "160"])
+        assert capture_cli_sweep.sweep.experiment == "fig9"
+
+    def test_backend_flag_overrides_spec(self, capture_cli_sweep,
+                                         spec_file, capsys):
+        sweep_mod.cli_main(["--spec", spec_file,
+                            "--backend", "nangate15-booth"])
+        assert capture_cli_sweep.sweep.backends == (
+            "nangate15-booth",)
+
+    def test_network_flag_overrides_spec(self, capture_cli_sweep,
+                                         spec_file, capsys):
+        sweep_mod.cli_main(["--spec", spec_file,
+                            "--network", "lenet5"])
+        assert [n.network for n in capture_cli_sweep.sweep.networks] \
+            == ["lenet5"]
+
+    def test_seed_zero_overrides_spec(self, capture_cli_sweep,
+                                      spec_file, capsys):
+        """Seed 0 is falsy-adjacent ([0] is truthy, 0 is not) — must
+        override the spec file's seed axis."""
+        sweep_mod.cli_main(["--spec", spec_file, "--seed", "0"])
+        assert capture_cli_sweep.sweep.seeds == (0,)
+
+    def test_scale_flag_overrides_spec(self, capture_cli_sweep,
+                                       spec_file, capsys):
+        sweep_mod.cli_main(["--spec", spec_file, "--scale", "smoke"])
+        assert capture_cli_sweep.sweep.scale == "smoke"
+
+    def test_unset_flags_keep_spec_values(self, capture_cli_sweep,
+                                          spec_file, capsys):
+        sweep_mod.cli_main(["--spec", spec_file, "--seed", "1",
+                            "--seed", "2"])
+        sweep = capture_cli_sweep.sweep
+        assert sweep.seeds == (1, 2)
+        assert sweep.thresholds == (900.0, 850.0)  # untouched axis
+        assert sweep.backends == ("nangate15-array",)
+
+    def test_aggregate_csv_flag(self, capture_cli_sweep, tmp_path,
+                                capsys):
+        out = tmp_path / "agg.csv"
+        sweep_mod.cli_main(["--experiment", "fig8",
+                            "--threshold", "900",
+                            "--seed", "0", "--seed", "1",
+                            "--scale", "smoke",
+                            "--aggregate-csv", str(out)])
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 2  # header + one (backend, thr) group
+        header = lines[0].split(",")
+        assert "n_seeds" in header
+        assert lines[1].split(",")[header.index("n_seeds")] == "2"
+        assert f"aggregated table written to {out}" \
+            in capsys.readouterr().out
+
+
 @pytest.mark.slow
 class TestSweepCacheAcceptance:
     """ISSUE acceptance: repeated sweep runs hit the cache everywhere."""
