@@ -8,14 +8,19 @@ default MAC unit:
   power characterization inner loop);
 * **DTA-shaped** — per-transition arrival-time propagation through the
   multiplier with a frozen weight (the Sec. III-B per-weight dynamic
-  timing analysis inner loop).
+  timing analysis inner loop);
+* **characterization-table-shaped** — the full 255-weight power table,
+  per-weight loop (the pre-megabatch implementation, frozen below as
+  the baseline) vs the one-launch weight-batched path, plus the
+  analogous per-weight vs flat-batched timing table.
 
 Each workload runs under the legacy interpreted walk (the pre-kernel
 evaluator, kept as ``kernel="reference"``), the levelized boolean
 kernel, and the bit-packed word kernel, asserting all three agree
 bit-for-bit before timing anything.  Results (wall times, sample
 throughputs, speedups, netlist/schedule stats) are written to a
-machine-readable JSON to seed the perf trajectory.
+machine-readable JSON to seed the perf trajectory; the
+characterization-table section goes to its own ``BENCH_char_batch.json``.
 
 Usage::
 
@@ -25,7 +30,8 @@ Usage::
 The full run enforces the PR's acceptance floors (packed >= 5x legacy
 on the power shape, fused DTA >= 3x legacy); ``--quick`` shrinks the
 batches for CI smoke and only asserts the packed kernel is not slower
-than the legacy one.
+than the legacy one.  The one-launch characterization floor (>= 3x
+over the per-weight-loop baseline, serial) holds in *both* modes.
 """
 
 from __future__ import annotations
@@ -43,6 +49,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.cells import default_library  # noqa: E402
 from repro.netlist import build_mac_unit  # noqa: E402
+from repro.power.binning import (  # noqa: E402
+    BinnedTransitions,
+    PartialSumBinner,
+)
+from repro.power.characterization import (  # noqa: E402
+    WeightPowerCharacterizer,
+    weight_seed_sequence,
+)
+from repro.power.transitions import (  # noqa: E402
+    TransitionDistribution,
+    code_to_value,
+)
 from repro.sim.dynamic_timing import (  # noqa: E402
     dynamic_arrival_times,
     dynamic_arrival_times_reference,
@@ -52,12 +70,20 @@ from repro.sim.switching import (  # noqa: E402
     paired_toggle_rates,
     paired_toggle_rates_words,
 )
+from repro.timing.profile import (  # noqa: E402
+    WeightDelayProfiler,
+    WeightTimingTable,
+)
 
 #: Acceptance floors of the full benchmark (ISSUE 4).
 POWER_SPEEDUP_FLOOR = 5.0
 DTA_SPEEDUP_FLOOR = 3.0
 #: ``--quick`` floor: packed must not be slower than legacy.
 QUICK_SPEEDUP_FLOOR = 1.0
+#: One-launch characterization floor (ISSUE 6) — asserted in both
+#: modes: the full-table megabatch path must beat the frozen
+#: per-weight-loop baseline by at least this much, serially.
+CHAR_SPEEDUP_FLOOR = 3.0
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -161,11 +187,142 @@ def bench_dta_shape(mac, library, n_transitions: int,
     }
 
 
-def run(quick: bool, json_path: Path, repeats: int) -> dict:
+def _build_characterizer(n_samples: int) -> WeightPowerCharacterizer:
+    """Paper-shaped smoke characterization setup (50 psum bins)."""
+    rng = np.random.default_rng(0)
+    stream = rng.integers(-(1 << 18), 1 << 18, 6000)
+    binner = PartialSumBinner(n_bins=50).fit(stream, rng=rng)
+    return WeightPowerCharacterizer(
+        build_mac_unit(), default_library(),
+        TransitionDistribution.diagonal(256),
+        BinnedTransitions.from_stream(binner, stream),
+        n_samples=n_samples,
+    )
+
+
+def _per_weight_loop_energies(char, weights, seed: int) -> np.ndarray:
+    """The pre-megabatch per-weight loop, frozen as the baseline.
+
+    ``rng.choice``-based stimulus sampling plus a dense per-weight
+    weight bus and one packed evaluation per weight — exactly the
+    characterization inner loop this PR's one-launch path replaces.
+    Bit-for-bit equal to both current paths (asserted before timing).
+    """
+    energies = np.empty(len(weights), dtype=np.float64)
+    n = char.n_samples
+    act = char.act_transitions
+    bt = char.psum_transitions
+    dist = bt.distribution
+    for i, weight in enumerate(weights):
+        rng = np.random.default_rng(
+            weight_seed_sequence(seed, int(weight)))
+        drawn = rng.choice(act.matrix.size, size=n,
+                           p=act.matrix.ravel())
+        acts = code_to_value(
+            np.concatenate([drawn // act.n_codes, drawn % act.n_codes]),
+            char.mac.act_bits)
+        drawn = rng.choice(dist.matrix.size, size=n,
+                           p=dist.matrix.ravel())
+        halves = []
+        for bin_ids in (drawn // dist.n_codes, drawn % dist.n_codes):
+            out = np.empty(n, dtype=np.int64)
+            for b in range(bt.binner.n_bins):
+                mask = bin_ids == b
+                count = int(mask.sum())
+                if count:
+                    out[mask] = rng.choice(bt.binner._exemplars[b],
+                                           size=count)
+            halves.append(out)
+        psums = np.concatenate(halves)
+
+        feed = bus_inputs("act", acts, char.mac.act_bits)
+        feed.update(bus_inputs(
+            "w", np.full(2 * n, int(weight), dtype=np.int64),
+            char.mac.weight_bits))
+        feed.update(bus_inputs("psum", psums, char.mac.psum_bits))
+        values = evaluate_words(char._packed, feed, pair_halves=True)
+        rates = paired_toggle_rates_words(values)
+        energies[i] = float(np.dot(rates, char._energies))
+    return energies
+
+
+def bench_char_table(n_samples: int, n_transitions: int,
+                     repeats: int) -> dict:
+    """Full characterization tables: per-weight loop vs one launch."""
+    char = _build_characterizer(n_samples)
+    weights = list(range(-127, 128))
+    seed = 2023
+
+    baseline = _per_weight_loop_energies(char, weights, seed)
+    oracle = char.dynamic_energies_fj(weights, seed)
+    batched = char.dynamic_energies_fj_batched(weights, seed)
+    np.testing.assert_array_equal(oracle, baseline)
+    np.testing.assert_array_equal(batched, baseline)
+
+    loop_s = _best_of(
+        lambda: _per_weight_loop_energies(char, weights, seed), repeats)
+    oracle_s = _best_of(
+        lambda: char.dynamic_energies_fj(weights, seed), repeats)
+    batched_s = _best_of(
+        lambda: char.dynamic_energies_fj_batched(weights, seed),
+        repeats)
+
+    profiler = WeightDelayProfiler(char.mac, char.library)
+    timing_weights = list(range(-127, 128, 4))
+
+    def timing_loop():
+        return WeightTimingTable.characterize(
+            profiler, timing_weights, n_transitions=n_transitions,
+            seed=seed, batch_weights=1)
+
+    def timing_batched():
+        return WeightTimingTable.characterize(
+            profiler, timing_weights, n_transitions=n_transitions,
+            seed=seed)
+
+    loop_table = timing_loop()
+    batched_table = timing_batched()
+    np.testing.assert_array_equal(loop_table.max_delay_ps,
+                                  batched_table.max_delay_ps)
+    np.testing.assert_array_equal(loop_table.combo_weight,
+                                  batched_table.combo_weight)
+    np.testing.assert_array_equal(loop_table.combo_delay_ps,
+                                  batched_table.combo_delay_ps)
+    assert loop_table.time_scale == batched_table.time_scale
+
+    timing_loop_s = _best_of(timing_loop, repeats)
+    timing_batched_s = _best_of(timing_batched, repeats)
+
+    return {
+        "power": {
+            "n_weights": len(weights),
+            "n_samples": n_samples,
+            "per_weight_loop_s": loop_s,
+            "per_weight_oracle_s": oracle_s,
+            "one_launch_s": batched_s,
+            "weights_per_s": len(weights) / batched_s,
+            "speedup_one_launch": loop_s / batched_s,
+            "bitwise_equal": True,
+        },
+        "timing": {
+            "n_weights": len(timing_weights),
+            "n_transitions": n_transitions,
+            "per_weight_loop_s": timing_loop_s,
+            "one_launch_s": timing_batched_s,
+            "speedup_one_launch": timing_loop_s / timing_batched_s,
+            "bitwise_equal": True,
+        },
+    }
+
+
+def run(quick: bool, json_path: Path, repeats: int,
+        char_json_path: Path = Path("BENCH_char_batch.json")) -> dict:
     mac = build_mac_unit()
     library = default_library()
     n_power = 2000 if quick else 10000
     n_dta = 1024 if quick else 8192
+    n_char = 800 if quick else 1500
+    n_char_transitions = 200 if quick else 400
 
     full_stats = mac.full.packed().schedule.stats()
     mult_stats = mac.multiplier.packed().schedule.stats()
@@ -186,6 +343,36 @@ def run(quick: bool, json_path: Path, repeats: int) -> dict:
           f"legacy {dta['legacy_s'] * 1e3:8.1f} ms | "
           f"fused packed {dta['fused_s'] * 1e3:7.1f} ms "
           f"({dta['speedup_fused']:.1f}x)")
+
+    char = bench_char_table(n_char, n_char_transitions, repeats)
+    char_power = char["power"]
+    char_timing = char["timing"]
+    print(f"char-table power  ({char_power['n_weights']} weights x "
+          f"{n_char} samples): per-weight loop "
+          f"{char_power['per_weight_loop_s'] * 1e3:8.1f} ms | "
+          f"one-launch {char_power['one_launch_s'] * 1e3:7.1f} ms "
+          f"({char_power['speedup_one_launch']:.1f}x)")
+    print(f"char-table timing ({char_timing['n_weights']} weights x "
+          f"{n_char_transitions} transitions): per-weight loop "
+          f"{char_timing['per_weight_loop_s'] * 1e3:8.1f} ms | "
+          f"one-launch {char_timing['one_launch_s'] * 1e3:7.1f} ms "
+          f"({char_timing['speedup_one_launch']:.1f}x)")
+
+    char_payload = {
+        "benchmark": "char_batch",
+        "quick": quick,
+        "repeats": repeats,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "power_table": char_power,
+        "timing_table": char_timing,
+        "floors": {"power_speedup": CHAR_SPEEDUP_FLOOR},
+    }
+    char_json_path.write_text(json.dumps(char_payload, indent=2) + "\n")
+    print(f"char-batch results written to {char_json_path}")
 
     payload = {
         "benchmark": "sim_kernel",
@@ -220,6 +407,11 @@ def run(quick: bool, json_path: Path, repeats: int) -> dict:
         failures.append(
             f"fused DTA speedup {dta['speedup_fused']:.2f}x below the "
             f"{dta_floor:g}x floor")
+    if char_power["speedup_one_launch"] < CHAR_SPEEDUP_FLOOR:
+        failures.append(
+            f"one-launch characterization speedup "
+            f"{char_power['speedup_one_launch']:.2f}x below the "
+            f"{CHAR_SPEEDUP_FLOOR:g}x floor")
     if failures:
         raise SystemExit("FAIL: " + "; ".join(failures))
     print("OK: all speedup floors met")
@@ -239,11 +431,17 @@ def main(argv=None) -> int:
                         metavar="FILE",
                         help="output path for the machine-readable "
                              "results (default: %(default)s)")
+    parser.add_argument("--char-json", type=Path,
+                        default=Path("BENCH_char_batch.json"),
+                        metavar="FILE",
+                        help="output path for the characterization-"
+                             "table results (default: %(default)s)")
     parser.add_argument("--repeats", type=int, default=3, metavar="N",
                         help="timing repeats; best-of-N is reported "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
-    run(args.quick, args.json, max(1, args.repeats))
+    run(args.quick, args.json, max(1, args.repeats),
+        char_json_path=args.char_json)
     return 0
 
 

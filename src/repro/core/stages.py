@@ -352,9 +352,10 @@ class PipelineOps:
         """Per-weight power table from measured operand statistics.
 
         ``config.char_jobs`` shards the per-weight simulations across
-        processes; per-weight RNG seeding keeps the sharded table
-        bit-for-bit identical to a serial run, which is why
-        ``char_jobs`` takes no part in the stage cache key.
+        processes and ``config.char_batch_weights`` batches each
+        shard's weights into one-launch megabatch evaluations; both are
+        bit-for-bit identical to the serial per-weight loop, which is
+        why neither takes part in the stage cache key.
         """
         from repro.power import WeightPowerCharacterizer
 
@@ -369,16 +370,18 @@ class PipelineOps:
         )
         return characterizer.characterize(
             self.config.char_weights(), seed=self.config.seed,
-            jobs=getattr(self.config, "char_jobs", 1))
+            jobs=getattr(self.config, "char_jobs", 1),
+            batch_weights=getattr(self.config, "char_batch_weights", 0))
 
     def characterize_timing(self, candidate_weights: Sequence[int]):
         """Per-weight timing table for the power-selected candidates.
 
         ``config.char_jobs`` shards the per-weight dynamic timing
-        analyses across processes; each weight subsamples its
-        transitions from its own ``(seed, weight)``-keyed RNG, so the
-        sharded table is bit-for-bit identical to a serial run — which
-        is why ``char_jobs`` takes no part in the stage cache key.
+        analyses across processes and ``config.char_batch_weights``
+        concatenates each shard's weights into flat one-launch DTA
+        streams; each weight subsamples its transitions from its own
+        ``(seed, weight)``-keyed RNG, so both knobs are bit-for-bit
+        neutral and take no part in the stage cache key.
         """
         from repro.timing import WeightDelayProfiler, WeightTimingTable
 
@@ -390,6 +393,7 @@ class PipelineOps:
             floor_ps=self.config.timing_floor_ps,
             calibrate_to_ps=self.backend.delay_anchor_ps,
             jobs=getattr(self.config, "char_jobs", 1),
+            batch_weights=getattr(self.config, "char_batch_weights", 0),
         )
 
     def recharacterize_filtered(self, allowed_activations, stats,
@@ -419,7 +423,8 @@ class PipelineOps:
         )
         table = characterizer.characterize(
             self.config.char_weights(), seed=self.config.seed,
-            jobs=getattr(self.config, "char_jobs", 1))
+            jobs=getattr(self.config, "char_jobs", 1),
+            batch_weights=getattr(self.config, "char_batch_weights", 0))
         return WeightPowerTable(
             weights=table.weights,
             power_uw=table.dynamic_uw * base_table.energy_scale

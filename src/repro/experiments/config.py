@@ -102,7 +102,8 @@ NETWORK_TRAINING = {
 def pipeline_config(spec: NetworkSpec, scale: str = "ci",
                     seed: int = 0, verbose: bool = False,
                     backend: str = DEFAULT_BACKEND_ID,
-                    char_jobs: int = 1) -> PipelineConfig:
+                    char_jobs: int = 1,
+                    char_batch_weights: int = 0) -> PipelineConfig:
     """PipelineConfig for one network spec at the requested scale.
 
     Args:
@@ -116,6 +117,9 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
             processes).
         char_jobs: Processes to shard per-weight characterization over
             (bit-for-bit identical to serial; not part of cache keys).
+        char_batch_weights: Weights per one-launch characterization
+            megabatch (0 = automatic, 1 = per-weight loop); bit-for-bit
+            neutral like ``char_jobs`` and not part of cache keys.
     """
     s = get_scale(scale)
     training = NETWORK_TRAINING.get(spec.network, {})
@@ -124,6 +128,7 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
         lr_decay_epochs=training.get("lr_decay_epochs", ()),
         backend=resolve_backend_id(backend),
         char_jobs=char_jobs,
+        char_batch_weights=char_batch_weights,
         network=spec.network,
         dataset=spec.dataset,
         num_classes=spec.num_classes,

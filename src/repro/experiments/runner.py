@@ -50,6 +50,9 @@ class ExperimentContext:
             keys every stage artifact, so contexts on different
             backends can share a store without ever colliding.
         char_jobs: Processes to shard per-weight characterization over.
+        char_batch_weights: Weights per one-launch characterization
+            megabatch (0 = automatic, 1 = per-weight loop); bit-for-bit
+            neutral, like ``char_jobs``.
     """
 
     def __init__(self, spec: NetworkSpec, scale: str = "ci",
@@ -57,12 +60,14 @@ class ExperimentContext:
                  cache_dir=None,
                  store: Optional[ArtifactStore] = None,
                  backend=DEFAULT_BACKEND_ID,
-                 char_jobs: int = 1) -> None:
+                 char_jobs: int = 1,
+                 char_batch_weights: int = 0) -> None:
         self.spec = spec
         self.scale = scale
         self.config: PipelineConfig = pipeline_config(
             spec, scale, seed=seed, verbose=verbose, backend=backend,
-            char_jobs=char_jobs)
+            char_jobs=char_jobs,
+            char_batch_weights=char_batch_weights)
         self.pruner = PowerPruner(self.config, cache_dir=cache_dir,
                                   store=store)
         self.runner = self.pruner.runner()

@@ -323,9 +323,11 @@ def point_config(point: SweepPoint, char_jobs: int = 1,
 
 
 #: Config fields that never influence results and must therefore never
-#: enter a cache key (sharding is bit-for-bit; the backend is hashed
-#: via its full spec payload instead of its registry id).
-_NON_KEY_FIELDS = ("backend", "char_jobs", "verbose")
+#: enter a cache key (sharding and megabatching are bit-for-bit; the
+#: backend is hashed via its full spec payload instead of its registry
+#: id).
+_NON_KEY_FIELDS = ("backend", "char_jobs", "char_batch_weights",
+                   "verbose")
 
 
 def point_cache_key(point: SweepPoint, config: PipelineConfig) -> str:

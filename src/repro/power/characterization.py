@@ -37,11 +37,55 @@ from repro.power.transitions import (
     TransitionDistribution,
     code_to_value,
 )
-from repro.sim.logic import bus_inputs, evaluate_words
-from repro.sim.switching import paired_toggle_rates_words
+from repro.sim.logic import bus_inputs, evaluate_words, evaluate_words_batched
+from repro.sim.switching import (
+    paired_toggle_rates_words,
+    paired_toggle_rates_words_batched,
+)
 
 #: Fig. 2 anchor: the most power-hungry weight value burns ~1066 µW.
 ANCHOR_MAX_POWER_UW = 1066.0
+
+#: Hard memory ceiling (bytes) for the packed word matrix of one
+#: megabatch launch — ``nets x (weights_per_chunk x words_per_weight)``
+#: uint64.  The automatic chunk size never exceeds this, so the paper
+#: scale (10 000 samples x 255 weights, ~0.7 GB if launched whole)
+#: chunks instead of exhausting RAM.
+BATCH_MEMORY_BUDGET_BYTES = 128 << 20
+
+#: Preferred launch footprint (bytes) for automatic chunk sizing.
+#: Bigger launches amortize schedule-dispatch overhead, but once the
+#: word matrix outgrows the last-level cache every level of the
+#: schedule walk streams from DRAM and throughput *drops* — measured on
+#: the smoke netlist, chunks around this size are ~2x faster end-to-end
+#: than RAM-budget-sized ones.  Explicit ``batch_weights`` overrides
+#: are clamped only by :data:`BATCH_MEMORY_BUDGET_BYTES`.
+BATCH_TARGET_BYTES = 8 << 20
+
+
+def resolve_batch_weights(batch_weights: Optional[int], n_weights: int,
+                          bytes_per_weight: int,
+                          budget_bytes: int = BATCH_MEMORY_BUDGET_BYTES,
+                          target_bytes: int = BATCH_TARGET_BYTES
+                          ) -> int:
+    """Weights per megabatch launch under the memory budget.
+
+    Args:
+        batch_weights: The knob: ``None``/``0`` sizes automatically
+            (cache-friendly launches of ~``target_bytes``), ``1``
+            disables batching (per-weight loop), ``N`` forces N-weight
+            chunks (capped by the memory budget).
+        n_weights: Total weights to characterize.
+        bytes_per_weight: Dominant per-weight footprint of one launch
+            (the weight's share of the packed word matrix).
+        budget_bytes: Hard memory ceiling for the dominant allocation.
+        target_bytes: Preferred launch footprint for automatic sizing.
+    """
+    bytes_per_weight = max(1, bytes_per_weight)
+    cap = max(1, budget_bytes // bytes_per_weight)
+    if batch_weights is None or batch_weights == 0:
+        batch_weights = max(1, target_bytes // bytes_per_weight)
+    return max(1, min(int(batch_weights), cap, n_weights))
 
 
 def weight_seed_sequence(seed: int, weight: int) -> np.random.SeedSequence:
@@ -59,10 +103,19 @@ def weight_seed_sequence(seed: int, weight: int) -> np.random.SeedSequence:
 
 
 def _chunk_energies(task: Tuple["WeightPowerCharacterizer",
-                                np.ndarray, int]) -> np.ndarray:
-    """Worker entry point for sharded characterization (picklable)."""
-    characterizer, weights, seed = task
-    return characterizer.dynamic_energies_fj(weights, seed)
+                                np.ndarray, int, Optional[int]]
+                    ) -> np.ndarray:
+    """Worker entry point for sharded characterization (picklable).
+
+    Process sharding composes on top of weight batching: each shard
+    runs its own slice of the weight set through the one-launch megabatch
+    path (or the per-weight loop when ``batch_weights == 1``).
+    """
+    characterizer, weights, seed, batch_weights = task
+    if batch_weights == 1:
+        return characterizer.dynamic_energies_fj(weights, seed)
+    return characterizer.dynamic_energies_fj_batched(
+        weights, seed, batch_weights=batch_weights)
 
 
 @dataclass
@@ -202,6 +255,21 @@ class WeightPowerCharacterizer:
         self._packed, self._energies = self.estimator.packed_energies(
             mac.full)
 
+    def _sample_stimulus(self, rng: np.random.Generator
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """One weight's ``(acts, psums)`` stimulus, stacked before/after.
+
+        Draw order (activations first, then partial sums) is part of
+        the bit-for-bit contract: every path — per-weight, batched,
+        sharded — consumes the weight's child generator identically.
+        """
+        n = self.n_samples
+        code_from, code_to = self.act_transitions.sample(n, rng)
+        acts = code_to_value(np.concatenate([code_from, code_to]),
+                             self.mac.act_bits)
+        psum_from, psum_to = self.psum_transitions.sample_values(n, rng)
+        return acts, np.concatenate([psum_from, psum_to])
+
     def _dynamic_energy_fj(self, weight: int, rng: np.random.Generator
                            ) -> float:
         """Mean switching energy per cycle for one frozen weight value.
@@ -210,20 +278,16 @@ class WeightPowerCharacterizer:
         stacked batch — a single pass over the netlist instead of two —
         through the bit-packed levelized kernel, and reduced straight
         from packed words to per-net toggle rates via popcount
-        (bit-for-bit equal to the boolean-matrix path).
+        (bit-for-bit equal to the boolean-matrix path).  The frozen
+        weight bus is spliced in as per-wire scalars (broadcast at
+        input-matrix build), not re-expanded to ``2 n`` copies per
+        weight.
         """
-        n = self.n_samples
-        code_from, code_to = self.act_transitions.sample(n, rng)
-        acts = code_to_value(np.concatenate([code_from, code_to]),
-                             self.mac.act_bits)
-        psum_from, psum_to = self.psum_transitions.sample_values(n, rng)
-
+        acts, psums = self._sample_stimulus(rng)
         feed = bus_inputs("act", acts, self.mac.act_bits)
         feed.update(bus_inputs(
-            "w", np.full(2 * n, weight), self.mac.weight_bits))
-        feed.update(bus_inputs(
-            "psum", np.concatenate([psum_from, psum_to]),
-            self.mac.psum_bits))
+            "w", np.int64(weight), self.mac.weight_bits))
+        feed.update(bus_inputs("psum", psums, self.mac.psum_bits))
 
         values = evaluate_words(self._packed, feed, pair_halves=True)
         rates = paired_toggle_rates_words(values)
@@ -237,6 +301,10 @@ class WeightPowerCharacterizer:
         :func:`weight_seed_sequence`), so the result for a weight is a
         pure function of ``(seed, weight)`` — independent of ordering,
         chunking, and of which other weights are in the set.
+
+        This is the per-weight oracle the one-launch megabatch path
+        (:meth:`dynamic_energies_fj_batched`) is equivalence-tested
+        against.
         """
         return np.array([
             self._dynamic_energy_fj(
@@ -245,9 +313,76 @@ class WeightPowerCharacterizer:
             for w in weights
         ])
 
+    def dynamic_energies_fj_batched(self, weights: Sequence[int],
+                                    seed: int,
+                                    batch_weights: Optional[int] = None
+                                    ) -> np.ndarray:
+        """One-launch (megabatch) twin of :meth:`dynamic_energies_fj`.
+
+        Per-weight stimuli still come from the same ``(seed, weight)``
+        child RNGs — drawn per weight, bit-for-bit as before — but the
+        packed evaluation stacks every weight's stimulus along the
+        sample axis and walks the level schedule **once** per chunk,
+        amortizing the schedule-dispatch and input-packing overhead the
+        per-weight loop pays 2^16-scale times over.  Toggle energies
+        reduce per weight segment through the segmented popcount
+        without materializing any dense per-net matrix.
+
+        Results are bit-for-bit identical to the per-weight path for
+        any ``batch_weights`` chunking — word-wise gate ops never mix
+        samples, each segment's packed layout matches its standalone
+        evaluation, and the final per-weight dot products run over the
+        same contiguous float vectors.
+
+        Args:
+            weights: Weight values, characterized in the given order.
+            seed: Stimulus seed (same meaning as the per-weight path).
+            batch_weights: Weights per kernel launch; ``None``/``0``
+                sizes chunks automatically from
+                :data:`BATCH_MEMORY_BUDGET_BYTES`.
+        """
+        weights = [int(w) for w in weights]
+        n = self.n_samples
+        act_bits = self.mac.act_bits
+        psum_bits = self.mac.psum_bits
+        # Dominant footprint: the (nets, weights x words-per-weight)
+        # uint64 word matrix of one launch.
+        words_per_weight = 2 * (-(-n // 64))
+        bytes_per_weight = len(self._packed) * words_per_weight * 8
+        chunk_size = resolve_batch_weights(batch_weights, len(weights),
+                                           bytes_per_weight)
+
+        energies = np.empty(len(weights), dtype=np.float64)
+        for start in range(0, len(weights), chunk_size):
+            chunk = weights[start:start + chunk_size]
+            acts = np.empty((len(chunk), 2 * n), dtype=np.int64)
+            psums = np.empty((len(chunk), 2 * n), dtype=np.int64)
+            for k, weight in enumerate(chunk):
+                rng = np.random.default_rng(
+                    weight_seed_sequence(seed, weight))
+                acts[k], psums[k] = self._sample_stimulus(rng)
+
+            feed = bus_inputs("act", acts, act_bits)
+            # Per-segment frozen weight bus: an (n_weights, 1) column
+            # broadcasts each weight's bits across its whole segment.
+            feed.update(bus_inputs(
+                "w", np.asarray(chunk, dtype=np.int64)[:, None],
+                self.mac.weight_bits))
+            feed.update(bus_inputs("psum", psums, psum_bits))
+
+            values = evaluate_words_batched(self._packed, feed,
+                                            pair_halves=True)
+            rates = paired_toggle_rates_words_batched(values)
+            for k in range(len(chunk)):
+                energies[start + k] = float(
+                    np.dot(rates[k], self._energies))
+        return energies
+
     def characterize(self, weights: Optional[Iterable[int]] = None,
                      seed: int = 2023,
-                     jobs: Optional[int] = 1) -> WeightPowerTable:
+                     jobs: Optional[int] = 1,
+                     batch_weights: Optional[int] = None
+                     ) -> WeightPowerTable:
         """Build the per-weight power table.
 
         Args:
@@ -260,6 +395,12 @@ class WeightPowerCharacterizer:
                 Thanks to per-weight seeding the sharded table is
                 bit-for-bit identical to the serial one, so ``jobs``
                 must never participate in cache keys.
+            batch_weights: Weights per megabatch kernel launch
+                (``None``/``0`` = automatic memory-capped chunks, ``1``
+                = the per-weight oracle loop).  Batching is bit-for-bit
+                identical to the per-weight loop and composes with
+                ``jobs`` (each shard batches its own slice), so this
+                knob must never participate in cache keys either.
         """
         if weights is None:
             half = 1 << (self.mac.weight_bits - 1)
@@ -272,13 +413,15 @@ class WeightPowerCharacterizer:
             jobs = os.cpu_count() or 1
         jobs = max(1, min(jobs, weights.size))
         if jobs == 1:
-            energies_fj = self.dynamic_energies_fj(weights, seed)
+            energies_fj = _chunk_energies(
+                (self, weights, seed, batch_weights))
         else:
             chunks = np.array_split(weights, jobs)
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 parts = list(pool.map(
                     _chunk_energies,
-                    [(self, chunk, seed) for chunk in chunks]))
+                    [(self, chunk, seed, batch_weights)
+                     for chunk in chunks]))
             energies_fj = np.concatenate(parts)
         dynamic_uw = energies_fj * self.estimator.frequency_ghz
         # Keyed on mac.full so it hits the __init__-time memo entry.

@@ -36,6 +36,8 @@ class TransitionDistribution:
         if (matrix < 0).any():
             raise ValueError("transition probabilities must be >= 0")
         self.matrix = matrix / total
+        #: Cached inverse CDF backing :meth:`sample` (built lazily).
+        self._cdf: Optional[np.ndarray] = None
 
     @property
     def n_codes(self) -> int:
@@ -111,10 +113,35 @@ class TransitionDistribution:
     def sample(self, n_samples: int,
                rng: Optional[np.random.Generator] = None,
                ) -> Tuple[np.ndarray, np.ndarray]:
-        """Draw ``(code_from, code_to)`` pairs according to the matrix."""
+        """Draw ``(code_from, code_to)`` pairs according to the matrix.
+
+        Bit-for-bit identical to
+        ``rng.choice(matrix.size, size=n_samples, p=matrix.ravel())``
+        (the implementation through PR 5), consuming the generator
+        identically: ``Generator.choice`` inverts the cumulative
+        distribution against ``rng.random(n_samples)`` uniforms, but
+        rebuilds (and re-validates) the 2^16-element cumsum on *every*
+        call — a fixed cost the per-weight characterization paid 255
+        times over.  The inverse CDF only depends on the (immutable)
+        matrix, so it is built once and cached; the equivalence is
+        property-tested against ``rng.choice`` itself.
+        """
         rng = rng or np.random.default_rng()
-        flat = self.matrix.ravel()
-        drawn = rng.choice(flat.size, size=n_samples, p=flat)
+        cdf = self._cdf
+        if cdf is None:
+            cdf = self.matrix.ravel().cumsum()
+            cdf /= cdf[-1]
+            self._cdf = cdf
+        uniforms = rng.random(n_samples)
+        if cdf.size >= 4096:
+            # Sorted keys walk near-identical binary-search paths, so
+            # the large CDF stays cache-hot; per-key results (and hence
+            # the output) are unchanged by the search order.
+            order = np.argsort(uniforms)
+            drawn = np.empty(n_samples, dtype=np.intp)
+            drawn[order] = cdf.searchsorted(uniforms[order], side="right")
+        else:
+            drawn = cdf.searchsorted(uniforms, side="right")
         return drawn // self.n_codes, drawn % self.n_codes
 
     def marginal_from(self) -> np.ndarray:

@@ -58,9 +58,14 @@ def int_to_bits(values: np.ndarray, width: int) -> np.ndarray:
         Boolean array of shape ``values.shape + (width,)``.
     """
     values = np.asarray(values)
-    unsigned = np.mod(values, 1 << width).astype(np.int64)
-    shifts = np.arange(width, dtype=np.int64)
-    return ((unsigned[..., None] >> shifts) & 1).astype(bool)
+    # One C pass through np.unpackbits on the little-endian byte view
+    # instead of per-bit shift/mask over int64 temporaries (~3x less
+    # memory traffic; the characterization feeds megabatch-sized buses
+    # through here).
+    unsigned = np.mod(values, 1 << width).astype("<i8")
+    raw = unsigned.reshape(unsigned.shape + (1,)).view(np.uint8)
+    return np.unpackbits(raw, axis=-1, count=width,
+                         bitorder="little").view(bool)
 
 
 def bits_to_int(bits: np.ndarray, signed: bool = True) -> np.ndarray:
@@ -109,6 +114,13 @@ _POPCOUNT_TABLE = np.unpackbits(
     np.arange(256, dtype=np.uint8)[:, None], axis=1
 ).sum(axis=1).astype(np.uint8)
 
+#: Once-per-process capability decision shared by every popcount
+#: reduction (row-wise and per-word): probed exactly once at import,
+#: never inside a hot loop.  Worker processes re-probe on their own
+#: import, so a heterogeneous pool still picks the right kernel per
+#: interpreter.
+_HAS_NATIVE_POPCOUNT: bool = hasattr(np, "bitwise_count")
+
 
 def _popcount_lookup(words: np.ndarray) -> np.ndarray:
     """Per-row set-bit counts via an 8-bit table (works on any numpy)."""
@@ -121,10 +133,27 @@ def _popcount_native(words: np.ndarray) -> np.ndarray:
     return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
 
 
-#: Active popcount reduction: hardware-assisted when numpy provides it,
-#: table-driven otherwise.  Tests monkeypatch this to cover both.
+def _popcount_per_word_lookup(words: np.ndarray) -> np.ndarray:
+    """Set bits of each individual word via the 8-bit table."""
+    raw = np.ascontiguousarray(words).view(np.uint8)
+    per_byte = _POPCOUNT_TABLE[raw].astype(np.int64)
+    return per_byte.reshape(words.shape + (WORD_BITS // 8,)).sum(axis=-1)
+
+
+def _popcount_per_word_native(words: np.ndarray) -> np.ndarray:
+    """Set bits of each individual word via ``np.bitwise_count``."""
+    return np.bitwise_count(words).astype(np.int64)
+
+
+#: Active popcount reductions, selected once per process from the
+#: cached capability probe above.  Tests monkeypatch these to cover
+#: both implementations.
 _popcount_impl: Callable[[np.ndarray], np.ndarray] = (
-    _popcount_native if hasattr(np, "bitwise_count") else _popcount_lookup
+    _popcount_native if _HAS_NATIVE_POPCOUNT else _popcount_lookup
+)
+_popcount_per_word_impl: Callable[[np.ndarray], np.ndarray] = (
+    _popcount_per_word_native if _HAS_NATIVE_POPCOUNT
+    else _popcount_per_word_lookup
 )
 
 
@@ -149,6 +178,34 @@ def popcount_words(words: np.ndarray,
             words = words.copy()
             words[..., -1] &= np.uint64((1 << tail) - 1)
     return _popcount_impl(words)
+
+
+def popcount_words_segmented(words: np.ndarray,
+                             starts: np.ndarray) -> np.ndarray:
+    """Per-segment set-bit counts along the last (word) axis.
+
+    The segmented reduction of the weight-batched characterization
+    path: one megabatch word matrix holds many contiguous per-weight
+    segments, and the per-weight toggle counts fall out of a single
+    per-word popcount followed by ``np.add.reduceat`` at the segment
+    boundaries — no per-segment Python loop, no per-segment copies.
+
+    Args:
+        words: Packed word array; the last axis is the word axis.
+        starts: Monotonically increasing segment start indices into the
+            word axis (``starts[0]`` must be 0); segment ``k`` spans
+            ``words[..., starts[k]:starts[k + 1]]``, the last one
+            running to the end of the axis.
+
+    Returns:
+        ``int64`` counts of shape ``words.shape[:-1] + (len(starts),)``.
+
+    The same padding caveat as :func:`popcount_words` applies: feed it
+    XOR-cancelled toggle words (or otherwise padding-clean rows).
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    per_word = _popcount_per_word_impl(words)
+    return np.add.reduceat(per_word, starts, axis=-1)
 
 
 @dataclass(frozen=True)
@@ -192,6 +249,82 @@ class PackedValues:
         return self.words[:, :half_words], self.words[:, half_words:]
 
 
+@dataclass(frozen=True)
+class BatchedPackedValues:
+    """Bit-packed result of one :func:`evaluate_words_batched` launch.
+
+    The megabatch stacks ``n_segments`` independent stimulus segments
+    (one per characterized weight value, in the hot path) along the
+    packed word axis, each laid out exactly as the matching standalone
+    :func:`evaluate_words` call would lay it out:
+
+    ``words[:, k * wps : (k + 1) * wps]`` — segment ``k``
+    (``wps = words_per_segment``), itself split into word-aligned
+    before/after halves when ``half_batch`` is set.
+
+    Consumers reduce straight from the packed words through the
+    per-segment *views* below — no dense per-net boolean matrix is ever
+    materialized for toggle statistics.
+
+    Attributes:
+        words: ``(nets, n_segments * words_per_segment)`` packed values.
+        n_segments: Number of stacked segments.
+        batch: Valid samples *per segment*.
+        half_batch: When set, each segment is a word-aligned stacked
+            before/after pair of this many samples (see
+            :class:`PackedValues`).
+    """
+
+    words: np.ndarray
+    n_segments: int
+    batch: int
+    half_batch: Optional[int] = None
+
+    @property
+    def words_per_segment(self) -> int:
+        return self.words.shape[-1] // self.n_segments
+
+    def segment(self, k: int) -> PackedValues:
+        """Zero-copy :class:`PackedValues` view of segment ``k``.
+
+        Bit-for-bit identical (words, layout and all) to evaluating the
+        segment's stimulus through a standalone :func:`evaluate_words`
+        call — the equivalence the whole one-launch characterization
+        path rests on.
+        """
+        if not 0 <= k < self.n_segments:
+            raise IndexError(
+                f"segment {k} out of range [0, {self.n_segments})")
+        wps = self.words_per_segment
+        return PackedValues(words=self.words[:, k * wps:(k + 1) * wps],
+                            batch=self.batch, half_batch=self.half_batch)
+
+    def paired_toggle_counts(self) -> np.ndarray:
+        """Per-net toggle counts of every segment, shape
+        ``(n_segments, nets)``.
+
+        XORs each segment's word-aligned before/after halves (padding
+        bits cancel: both halves compute the same function of identical
+        padding) and reduces through the segmented popcount
+        (:func:`popcount_words_segmented`) — one fused reduction over
+        the whole megabatch.  Row ``k`` is C-contiguous and bit-for-bit
+        equal to ``popcount_words(before ^ after)`` of the standalone
+        per-segment evaluation.
+        """
+        if self.half_batch is None:
+            raise ValueError(
+                "not a paired evaluation; call evaluate_words_batched("
+                "..., pair_halves=True)")
+        wps = self.words_per_segment
+        view = self.words.reshape(self.words.shape[0], self.n_segments,
+                                  2, wps // 2)
+        xor = view[:, :, 0, :] ^ view[:, :, 1, :]
+        counts = popcount_words_segmented(
+            xor.reshape(xor.shape[0], -1),
+            np.arange(self.n_segments, dtype=np.intp) * (wps // 2))
+        return np.ascontiguousarray(counts.T)
+
+
 # ----------------------------------------------------------------------
 # shared input plumbing
 # ----------------------------------------------------------------------
@@ -225,6 +358,30 @@ def _input_matrix(packed: PackedNetlist,
     for row, name in enumerate(names):
         arr = np.asarray(inputs[name], dtype=bool)
         bits[row] = np.broadcast_to(arr, (batch,))
+    return nets, bits
+
+
+def _input_matrix_batched(packed: PackedNetlist,
+                          inputs: Mapping[str, ArrayLike],
+                          n_segments: int, batch: int
+                          ) -> "tuple[np.ndarray, np.ndarray]":
+    """``(input_nets, bits)`` with bits shaped ``(inputs, segs, batch)``.
+
+    Each input value broadcasts against ``(n_segments, batch)``: a
+    scalar fans out everywhere, a ``(batch,)`` row is shared by every
+    segment, a ``(n_segments, 1)`` column freezes one value per segment
+    (the weight bus of the characterization megabatch), and a full
+    ``(n_segments, batch)`` matrix varies freely.
+    """
+    names = packed.netlist.input_names
+    missing = set(names) - set(inputs)
+    if missing:
+        raise ValueError(f"missing values for inputs: {sorted(missing)}")
+    nets = np.fromiter(names.values(), dtype=np.int64, count=len(names))
+    bits = np.empty((len(names), n_segments, batch), dtype=bool)
+    for row, name in enumerate(names):
+        arr = np.asarray(inputs[name], dtype=bool)
+        bits[row] = np.broadcast_to(arr, (n_segments, batch))
     return nets, bits
 
 
@@ -343,6 +500,87 @@ def evaluate_words(netlist: Union[Netlist, PackedNetlist],
         words[schedule.const1] = ~np.uint64(0)
     _run_schedule_words(schedule, words)
     return PackedValues(words=words, batch=batch, half_batch=half_batch)
+
+
+def evaluate_words_batched(netlist: Union[Netlist, PackedNetlist],
+                           inputs: Mapping[str, ArrayLike],
+                           n_segments: Optional[int] = None,
+                           batch: Optional[int] = None,
+                           pair_halves: bool = False
+                           ) -> BatchedPackedValues:
+    """Evaluate many stimulus segments in **one** kernel launch.
+
+    The one-launch characterization primitive: ``n_segments``
+    independent stimulus segments (one per frozen weight value, in the
+    hot path) are packed side by side along the word axis and the level
+    schedule walks the whole megabatch once — amortizing the ~depth x
+    gate-type numpy dispatch overhead of :func:`evaluate_words` across
+    every segment instead of paying it per segment.  The layout is flat
+    contiguous ``uint64`` words per segment, deliberately
+    gather/scatter-friendly for a future compiled or GPU backend.
+
+    Each segment's words are bit-for-bit identical to what a standalone
+    :func:`evaluate_words` call on that segment's inputs would produce
+    (word ops never mix words, so stacking segments cannot perturb
+    results) — see :meth:`BatchedPackedValues.segment`.
+
+    Args:
+        netlist: The circuit (or its packed view).
+        inputs: Mapping from primary-input name to anything
+            broadcastable against ``(n_segments, batch)`` — scalars,
+            shared ``(batch,)`` rows, per-segment ``(n_segments, 1)``
+            columns, or full ``(n_segments, batch)`` matrices.
+        n_segments: Number of segments; inferred from the first 2-D
+            input when omitted.
+        batch: Samples per segment; inferred alongside ``n_segments``.
+        pair_halves: Treat every segment as a stacked before/after pair
+            and pack each half word-aligned (the toggle-extraction
+            layout; see :func:`evaluate_words`).
+
+    Returns:
+        :class:`BatchedPackedValues` over the whole megabatch.
+    """
+    packed = _resolve_packed(netlist)
+    if n_segments is None or batch is None:
+        for value in inputs.values():
+            arr = np.asarray(value)
+            if arr.ndim >= 2:
+                n_segments = n_segments or arr.shape[0]
+                batch = batch or arr.shape[1]
+                break
+        else:
+            raise ValueError(
+                "pass n_segments/batch explicitly when no input is a "
+                "(n_segments, batch) matrix")
+    input_nets, input_bits = _input_matrix_batched(
+        packed, inputs, n_segments, batch)
+
+    half_batch: Optional[int] = None
+    if pair_halves:
+        if batch % 2 != 0:
+            raise ValueError(
+                f"stacked batch of {batch} samples has no before/after "
+                f"halves")
+        half_batch = batch // 2
+        # (inputs, segs, batch) is C-contiguous, so splitting the last
+        # axis into before/after halves is a plain reshape — each half
+        # then packs word-aligned in segment-major order.
+        packed_rows = pack_bits(
+            input_bits.reshape(len(input_bits), 2 * n_segments,
+                               half_batch))
+    else:
+        packed_rows = pack_bits(input_bits)
+    packed_rows = packed_rows.reshape(len(input_bits), -1)
+
+    words = np.zeros((len(packed), packed_rows.shape[-1]),
+                     dtype=WORD_DTYPE)
+    words[input_nets] = packed_rows
+    schedule = packed.schedule
+    if schedule.const1.size:
+        words[schedule.const1] = ~np.uint64(0)
+    _run_schedule_words(schedule, words)
+    return BatchedPackedValues(words=words, n_segments=n_segments,
+                               batch=batch, half_batch=half_batch)
 
 
 def evaluate(netlist: Union[Netlist, PackedNetlist],

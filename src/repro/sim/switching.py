@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim.logic import PackedValues, popcount_words
+from repro.sim.logic import (
+    BatchedPackedValues,
+    PackedValues,
+    popcount_words,
+)
 
 
 def toggle_matrix(values_before: np.ndarray,
@@ -88,6 +92,29 @@ def paired_toggle_rates_words(values: PackedValues) -> np.ndarray:
     before, after = values.halves()
     counts = popcount_words(before ^ after)
     return counts / float(values.half_batch)
+
+
+def paired_toggle_rates_words_batched(values: BatchedPackedValues
+                                      ) -> np.ndarray:
+    """Per-segment :func:`paired_toggle_rates_words` of one megabatch.
+
+    Reduces a weight-batched paired evaluation
+    (:func:`~repro.sim.logic.evaluate_words_batched` with
+    ``pair_halves=True``) straight from packed words to per-segment
+    per-net toggle rates: segment halves XOR word-for-word and the
+    segmented popcount folds the whole megabatch in one pass.
+
+    Each returned row is C-contiguous and bit-for-bit identical to
+    :func:`paired_toggle_rates_words` on the standalone evaluation of
+    that segment — same integer counts, same ``count / n`` division.
+
+    Args:
+        values: Paired megabatch evaluation.
+
+    Returns:
+        ``(n_segments, nets)`` mean toggle probabilities.
+    """
+    return values.paired_toggle_counts() / float(values.half_batch)
 
 
 def stream_toggle_counts(values: np.ndarray) -> np.ndarray:

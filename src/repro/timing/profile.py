@@ -186,6 +186,42 @@ class WeightDelayProfiler:
             )
         return out
 
+    def delays_batched(self, weight_values: np.ndarray,
+                       act_from: np.ndarray,
+                       act_to: np.ndarray) -> np.ndarray:
+        """MAC delays where every transition carries its own weight.
+
+        The one-launch twin of :meth:`delays`: several weights' stimuli
+        concatenate into one flat stream with a per-sample weight bus,
+        so the dynamic timing analysis walks its levelized plan once
+        per ``chunk``-sized window instead of once per weight.  Arrival
+        propagation is independent per sample column, so the flat
+        batching (and its different chunk boundaries) is bit-for-bit
+        equivalent to looping :meth:`delays` weight by weight —
+        property-tested in the equivalence suite.
+
+        Args:
+            weight_values: Per-transition frozen weight value.
+            act_from / act_to: Activation transition endpoints (values),
+                aligned with ``weight_values``.
+        """
+        weight_values = np.asarray(weight_values, dtype=np.int64).ravel()
+        act_from = np.asarray(act_from, dtype=np.int64).ravel()
+        act_to = np.asarray(act_to, dtype=np.int64).ravel()
+        if not (weight_values.shape == act_from.shape == act_to.shape):
+            raise ValueError(
+                "weight/from/to arrays must align, got "
+                f"{weight_values.shape}/{act_from.shape}/{act_to.shape}")
+        out = np.empty(act_from.size, dtype=np.float64)
+        for start in range(0, act_from.size, self.chunk):
+            stop = min(start + self.chunk, act_from.size)
+            weight_bus = bus_inputs(
+                "w", weight_values[start:stop], self.mac.weight_bits)
+            out[start:stop] = self._delays_chunk(
+                weight_bus, act_from[start:stop], act_to[start:stop]
+            )
+        return out
+
     def _delays_chunk(self, weight_bus, act_from: np.ndarray,
                       act_to: np.ndarray) -> np.ndarray:
         out = None
@@ -253,9 +289,41 @@ def _weight_transitions(profiler: WeightDelayProfiler, weight: int,
     return profiler.sampled_transitions(n_transitions, rng)
 
 
+#: Preferred flat-stream window (samples) for automatic timing-batch
+#: sizing.  Bigger windows amortize the per-launch DTA dispatch, but
+#: once the ``(nets, window)`` arrival matrix outgrows cache every
+#: propagation level streams from DRAM — measured on the smoke
+#: multiplier, windows around this size beat full ``chunk``-sized ones.
+_BATCH_TARGET_SAMPLES = 4096
+
+
+def _resolve_group_weights(profiler: WeightDelayProfiler,
+                           batch_weights: Optional[int],
+                           transitions: Optional[Tuple[np.ndarray,
+                                                       np.ndarray]],
+                           n_transitions: Optional[int]) -> int:
+    """Weights whose transitions concatenate into one flat DTA stream.
+
+    Automatic sizing packs roughly :data:`_BATCH_TARGET_SAMPLES`
+    transitions per group; the flat stream is re-chunked at
+    ``profiler.chunk`` inside
+    :meth:`WeightDelayProfiler.delays_batched` regardless, so explicit
+    larger groups stay memory-bounded.
+    """
+    if batch_weights is not None and batch_weights != 0:
+        return max(1, int(batch_weights))
+    if transitions is not None:
+        per_weight = int(np.asarray(transitions[0]).size)
+    elif n_transitions is not None:
+        per_weight = int(n_transitions)
+    else:
+        per_weight = 1 << (2 * profiler.mac.act_bits)
+    return max(1, _BATCH_TARGET_SAMPLES // max(1, per_weight))
+
+
 def _profile_chunk(task: Tuple[WeightDelayProfiler, np.ndarray,
                                Optional[Tuple[np.ndarray, np.ndarray]],
-                               Optional[int], int]
+                               Optional[int], int, Optional[int]]
                    ) -> List[Tuple[int, np.ndarray, np.ndarray,
                                    np.ndarray]]:
     """Worker entry point for sharded characterization (picklable).
@@ -263,14 +331,44 @@ def _profile_chunk(task: Tuple[WeightDelayProfiler, np.ndarray,
     Returns raw (uncalibrated) ``(weight, act_from, act_to, delays)``
     records; each record is a pure function of ``(seed, weight)``, so
     chunk boundaries cannot influence the merged table.
+
+    Process sharding composes on top of weight batching: each shard
+    groups its own slice of the weight set into flat one-launch DTA
+    streams (or falls back to the per-weight loop when
+    ``batch_weights == 1``).
     """
-    profiler, weights, transitions, n_transitions, seed = task
+    profiler, weights, transitions, n_transitions, seed, batch_weights \
+        = task
+    if batch_weights == 1:
+        records = []
+        for weight in weights:
+            act_from, act_to = _weight_transitions(
+                profiler, int(weight), transitions, n_transitions, seed)
+            delays = profiler.delays(int(weight), act_from, act_to)
+            records.append((int(weight), act_from, act_to, delays))
+        return records
+
+    group_size = _resolve_group_weights(
+        profiler, batch_weights, transitions, n_transitions)
     records = []
-    for weight in weights:
-        act_from, act_to = _weight_transitions(
-            profiler, int(weight), transitions, n_transitions, seed)
-        delays = profiler.delays(int(weight), act_from, act_to)
-        records.append((int(weight), act_from, act_to, delays))
+    for start in range(0, len(weights), group_size):
+        group = [int(w) for w in weights[start:start + group_size]]
+        per_weight = [
+            _weight_transitions(profiler, w, transitions, n_transitions,
+                                seed)
+            for w in group
+        ]
+        sizes = [af.size for af, __ in per_weight]
+        w_values = np.repeat(np.asarray(group, dtype=np.int64), sizes)
+        flat_from = np.concatenate([af for af, __ in per_weight])
+        flat_to = np.concatenate([at for __, at in per_weight])
+        flat_delays = profiler.delays_batched(w_values, flat_from,
+                                              flat_to)
+        offsets = np.cumsum([0] + sizes)
+        for k, weight in enumerate(group):
+            act_from, act_to = per_weight[k]
+            records.append((weight, act_from, act_to,
+                            flat_delays[offsets[k]:offsets[k + 1]]))
     return records
 
 
@@ -361,7 +459,9 @@ class WeightTimingTable:
                      calibrate_to_ps: Optional[float] = ANCHOR_MAX_DELAY_PS,
                      n_transitions: Optional[int] = None,
                      seed: int = 0,
-                     jobs: Optional[int] = 1) -> "WeightTimingTable":
+                     jobs: Optional[int] = 1,
+                     batch_weights: Optional[int] = None
+                     ) -> "WeightTimingTable":
         """Profile ``weights`` and build the sparse table.
 
         Args:
@@ -388,6 +488,13 @@ class WeightTimingTable:
                 calibration runs after the shards merge, so the sharded
                 table is bit-for-bit identical to the serial one — which
                 is why ``jobs`` must never participate in cache keys.
+            batch_weights: Weights whose transitions concatenate into
+                one flat one-launch DTA stream (``None``/``0`` =
+                automatic, roughly one ``profiler.chunk`` window per
+                group; ``1`` = the per-weight oracle loop).  Batching
+                is bit-for-bit identical to the per-weight loop and
+                composes with ``jobs``, so this knob must never
+                participate in cache keys either.
         """
         mac = profiler.mac
         if weights is None:
@@ -402,13 +509,15 @@ class WeightTimingTable:
         jobs = max(1, min(jobs, weights.size))
         if jobs == 1:
             slow = _profile_chunk(
-                (profiler, weights, transitions, n_transitions, seed))
+                (profiler, weights, transitions, n_transitions, seed,
+                 batch_weights))
         else:
             chunks = np.array_split(weights, jobs)
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 parts = list(pool.map(
                     _profile_chunk,
-                    [(profiler, chunk, transitions, n_transitions, seed)
+                    [(profiler, chunk, transitions, n_transitions, seed,
+                      batch_weights)
                      for chunk in chunks]))
             slow = [record for part in parts for record in part]
 
