@@ -17,10 +17,18 @@ default MAC unit:
 Each workload runs under the legacy interpreted walk (the pre-kernel
 evaluator, kept as ``kernel="reference"``), the levelized boolean
 kernel, and the bit-packed word kernel, asserting all three agree
-bit-for-bit before timing anything.  Results (wall times, sample
-throughputs, speedups, netlist/schedule stats) are written to a
-machine-readable JSON to seed the perf trajectory; the
-characterization-table section goes to its own ``BENCH_char_batch.json``.
+bit-for-bit before timing anything.  A fourth section pits the
+**compiled level-program kernel** (numba JIT when the optional extra
+is installed, vectorized numpy program executor otherwise — see
+:mod:`repro.sim.compiled`) against the packed group walk on the same
+two shapes, with the streaming ``dynamic_bus_arrivals`` entry point on
+the DTA side.  Results (wall times, sample throughputs, speedups,
+netlist/schedule stats) are written to a machine-readable JSON to seed
+the perf trajectory; the characterization-table section goes to its
+own ``BENCH_char_batch.json`` and the compiled-kernel section to
+``BENCH_compiled_kernel.json``.  Every platform block records the
+active kernel and the numba probe, so a result is never read against
+the wrong executor.
 
 Usage::
 
@@ -31,7 +39,10 @@ The full run enforces the PR's acceptance floors (packed >= 5x legacy
 on the power shape, fused DTA >= 3x legacy); ``--quick`` shrinks the
 batches for CI smoke and only asserts the packed kernel is not slower
 than the legacy one.  The one-launch characterization floor (>= 3x
-over the per-weight-loop baseline, serial) holds in *both* modes.
+over the per-weight-loop baseline, serial) holds in *both* modes, as
+does the compiled-kernel fallback floor (not slower than packed); with
+the JIT executor active the full run additionally demands >= 2x on
+the streaming DTA shape.
 """
 
 from __future__ import annotations
@@ -61,11 +72,23 @@ from repro.power.transitions import (  # noqa: E402
     TransitionDistribution,
     code_to_value,
 )
+from repro.sim.compiled import (  # noqa: E402
+    default_kernel,
+    jit_status,
+    set_process_kernel,
+)
 from repro.sim.dynamic_timing import (  # noqa: E402
+    STREAM_WINDOW_SAMPLES,
     dynamic_arrival_times,
     dynamic_arrival_times_reference,
+    dynamic_bus_arrivals,
 )
-from repro.sim.logic import bus_inputs, evaluate, evaluate_words  # noqa: E402
+from repro.sim.logic import (  # noqa: E402
+    WORD_DTYPE,
+    bus_inputs,
+    evaluate,
+    evaluate_words,
+)
 from repro.sim.switching import (  # noqa: E402
     paired_toggle_rates,
     paired_toggle_rates_words,
@@ -84,6 +107,12 @@ QUICK_SPEEDUP_FLOOR = 1.0
 #: modes: the full-table megabatch path must beat the frozen
 #: per-weight-loop baseline by at least this much, serially.
 CHAR_SPEEDUP_FLOOR = 3.0
+#: Compiled-kernel floors (ISSUE 7): the fallback numpy program
+#: executor must never be slower than the packed group walk (both
+#: modes); the JIT executor, when active, must additionally deliver
+#: this much on the streaming DTA shape (full mode).
+COMPILED_FALLBACK_FLOOR = 1.0
+COMPILED_DTA_JIT_FLOOR = 2.0
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -184,6 +213,101 @@ def bench_dta_shape(mac, library, n_transitions: int,
         "legacy_transitions_per_s": n_transitions / legacy_s,
         "fused_transitions_per_s": n_transitions / fused_s,
         "speedup_fused": legacy_s / fused_s,
+    }
+
+
+def bench_compiled_kernel(mac, library, n_power: int, n_dta: int,
+                          repeats: int) -> dict:
+    """Compiled level-program kernel vs the packed group walk.
+
+    Power shape: one stacked paired evaluation of the full MAC plus
+    toggle rates, per kernel.  DTA shape: the packed side is the dense
+    fused engine read at the product bus *with the packed word kernel*
+    (exactly what the profiler ran before this backend existed — the
+    dense engine has no kernel argument, so the process default pins
+    it); the compiled side is the streaming ``dynamic_bus_arrivals``
+    entry point with the profiler's reused scratch buffers.
+    Bit-for-bit equality is asserted before timing.  The DTA fallback
+    margin is structurally thin (the levelized propagation dominates
+    and is shared), so that shape gets extra repeats to keep the
+    best-of estimate out of the noise floor.
+    """
+    packed_full = mac.full.packed()
+    packed_full.program  # build outside the timed region, like the
+    packed_mult = mac.multiplier.packed()  # pipeline does
+    packed_mult.program
+    feed = _power_feed(mac, n_power)
+
+    def power_packed():
+        return paired_toggle_rates_words(
+            evaluate_words(packed_full, feed, pair_halves=True,
+                           kernel="packed"))
+
+    def power_compiled():
+        return paired_toggle_rates_words(
+            evaluate_words(packed_full, feed, pair_halves=True,
+                           kernel="compiled"))
+
+    np.testing.assert_array_equal(power_packed(), power_compiled())
+    power_packed_s = _best_of(power_packed, repeats)
+    power_compiled_s = _best_of(power_compiled, repeats)
+
+    rng = np.random.default_rng(1)
+    weight_bus = bus_inputs("w", np.full(n_dta, -105), 8)
+    before = bus_inputs("act", rng.integers(-128, 128, n_dta), 8)
+    before.update(weight_bus)
+    after = bus_inputs("act", rng.integers(-128, 128, n_dta), 8)
+    after.update(weight_bus)
+    nets = np.asarray(
+        mac.multiplier.output_bus("product", mac.product_bits),
+        dtype=np.int64)
+    dense_buf = np.zeros((len(packed_mult), n_dta))
+    words_buf = np.zeros(
+        (len(packed_mult), 2 * ((n_dta + 63) // 64)), dtype=WORD_DTYPE)
+    slab_buf = np.zeros(
+        (len(packed_mult), min(STREAM_WINDOW_SAMPLES, n_dta)))
+
+    def dta_packed():
+        set_process_kernel("packed")
+        try:
+            arrivals, __ = dynamic_arrival_times(
+                packed_mult, library, before, after, out=dense_buf)
+            return arrivals[nets]
+        finally:
+            set_process_kernel(None)
+
+    def dta_compiled():
+        return dynamic_bus_arrivals(
+            packed_mult, library, before, after, nets,
+            kernel="compiled", words_out=words_buf,
+            arrivals_out=slab_buf)
+
+    np.testing.assert_array_equal(dta_packed(), dta_compiled())
+    dta_repeats = max(repeats, 9)
+    dta_packed_s = _best_of(dta_packed, dta_repeats)
+    dta_compiled_s = _best_of(dta_compiled, dta_repeats)
+
+    return {
+        "executor": jit_status()["active"] and "jit" or "numpy",
+        "program": {
+            "mac_full": packed_full.program.stats(),
+            "multiplier": packed_mult.program.stats(),
+        },
+        "power_shape": {
+            "n_samples": n_power,
+            "packed_s": power_packed_s,
+            "compiled_s": power_compiled_s,
+            "compiled_samples_per_s": 2 * n_power / power_compiled_s,
+            "speedup_compiled": power_packed_s / power_compiled_s,
+        },
+        "dta_shape": {
+            "n_transitions": n_dta,
+            "packed_dense_s": dta_packed_s,
+            "compiled_streaming_s": dta_compiled_s,
+            "compiled_transitions_per_s": n_dta / dta_compiled_s,
+            "speedup_compiled": dta_packed_s / dta_compiled_s,
+        },
+        "bitwise_equal": True,
     }
 
 
@@ -316,7 +440,9 @@ def bench_char_table(n_samples: int, n_transitions: int,
 
 
 def run(quick: bool, json_path: Path, repeats: int,
-        char_json_path: Path = Path("BENCH_char_batch.json")) -> dict:
+        char_json_path: Path = Path("BENCH_char_batch.json"),
+        compiled_json_path: Path = Path("BENCH_compiled_kernel.json"),
+        ) -> dict:
     mac = build_mac_unit()
     library = default_library()
     n_power = 2000 if quick else 10000
@@ -324,11 +450,19 @@ def run(quick: bool, json_path: Path, repeats: int,
     n_char = 800 if quick else 1500
     n_char_transitions = 200 if quick else 400
 
+    platform_block = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "sim_kernel": default_kernel(),
+        "jit": jit_status(),
+    }
     full_stats = mac.full.packed().schedule.stats()
     mult_stats = mac.multiplier.packed().schedule.stats()
     print(f"MAC netlist: {full_stats['n_gates']} gates / "
           f"{full_stats['n_nets']} nets, depth {full_stats['n_levels']} "
           f"levels, {full_stats['n_groups']} type-groups")
+    print(f"compiled-kernel executor: {jit_status()['reason']}")
 
     power = bench_power_shape(mac, n_power, repeats)
     print(f"power-shaped ({n_power} stacked pairs): "
@@ -343,6 +477,19 @@ def run(quick: bool, json_path: Path, repeats: int,
           f"legacy {dta['legacy_s'] * 1e3:8.1f} ms | "
           f"fused packed {dta['fused_s'] * 1e3:7.1f} ms "
           f"({dta['speedup_fused']:.1f}x)")
+
+    compiled = bench_compiled_kernel(mac, library, n_power, n_dta,
+                                     repeats)
+    comp_power = compiled["power_shape"]
+    comp_dta = compiled["dta_shape"]
+    print(f"compiled ({compiled['executor']}) power: "
+          f"packed {comp_power['packed_s'] * 1e3:8.1f} ms | "
+          f"compiled {comp_power['compiled_s'] * 1e3:7.1f} ms "
+          f"({comp_power['speedup_compiled']:.2f}x)")
+    print(f"compiled ({compiled['executor']}) DTA:   "
+          f"dense packed {comp_dta['packed_dense_s'] * 1e3:8.1f} ms | "
+          f"streaming {comp_dta['compiled_streaming_s'] * 1e3:7.1f} ms "
+          f"({comp_dta['speedup_compiled']:.2f}x)")
 
     char = bench_char_table(n_char, n_char_transitions, repeats)
     char_power = char["power"]
@@ -362,11 +509,7 @@ def run(quick: bool, json_path: Path, repeats: int,
         "benchmark": "char_batch",
         "quick": quick,
         "repeats": repeats,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "platform": platform_block,
         "power_table": char_power,
         "timing_table": char_timing,
         "floors": {"power_speedup": CHAR_SPEEDUP_FLOOR},
@@ -374,15 +517,30 @@ def run(quick: bool, json_path: Path, repeats: int,
     char_json_path.write_text(json.dumps(char_payload, indent=2) + "\n")
     print(f"char-batch results written to {char_json_path}")
 
+    jit_active = jit_status()["active"]
+    compiled_dta_floor = (COMPILED_DTA_JIT_FLOOR
+                          if jit_active and not quick
+                          else COMPILED_FALLBACK_FLOOR)
+    compiled_payload = {
+        "benchmark": "compiled_kernel",
+        "quick": quick,
+        "repeats": repeats,
+        "platform": platform_block,
+        **compiled,
+        "floors": {
+            "power_speedup": COMPILED_FALLBACK_FLOOR,
+            "dta_speedup": compiled_dta_floor,
+        },
+    }
+    compiled_json_path.write_text(
+        json.dumps(compiled_payload, indent=2) + "\n")
+    print(f"compiled-kernel results written to {compiled_json_path}")
+
     payload = {
         "benchmark": "sim_kernel",
         "quick": quick,
         "repeats": repeats,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "platform": platform_block,
         "netlist": {"mac_full": full_stats, "multiplier": mult_stats},
         "power_characterization_shape": power,
         "dta_shape": dta,
@@ -412,6 +570,18 @@ def run(quick: bool, json_path: Path, repeats: int,
             f"one-launch characterization speedup "
             f"{char_power['speedup_one_launch']:.2f}x below the "
             f"{CHAR_SPEEDUP_FLOOR:g}x floor")
+    if comp_power["speedup_compiled"] < COMPILED_FALLBACK_FLOOR:
+        failures.append(
+            f"compiled power-shape speedup "
+            f"{comp_power['speedup_compiled']:.2f}x below the "
+            f"{COMPILED_FALLBACK_FLOOR:g}x floor (executor: "
+            f"{compiled['executor']})")
+    if comp_dta["speedup_compiled"] < compiled_dta_floor:
+        failures.append(
+            f"compiled streaming-DTA speedup "
+            f"{comp_dta['speedup_compiled']:.2f}x below the "
+            f"{compiled_dta_floor:g}x floor (executor: "
+            f"{compiled['executor']})")
     if failures:
         raise SystemExit("FAIL: " + "; ".join(failures))
     print("OK: all speedup floors met")
@@ -436,12 +606,18 @@ def main(argv=None) -> int:
                         metavar="FILE",
                         help="output path for the characterization-"
                              "table results (default: %(default)s)")
+    parser.add_argument("--compiled-json", type=Path,
+                        default=Path("BENCH_compiled_kernel.json"),
+                        metavar="FILE",
+                        help="output path for the compiled-kernel "
+                             "results (default: %(default)s)")
     parser.add_argument("--repeats", type=int, default=3, metavar="N",
                         help="timing repeats; best-of-N is reported "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
     run(args.quick, args.json, max(1, args.repeats),
-        char_json_path=args.char_json)
+        char_json_path=args.char_json,
+        compiled_json_path=args.compiled_json)
     return 0
 
 

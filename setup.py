@@ -1,9 +1,24 @@
-"""Setup shim for environments without the wheel package.
+"""Setup for environments without the wheel package.
 
-All real metadata lives in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517`` on offline machines.
+Enables ``pip install -e .`` (and ``pip install -e .[jit]`` for the
+optional numba-compiled simulation executor) on offline machines.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-powerpruning",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        # Optional JIT executor for the compiled level-program kernel
+        # (repro.sim.compiled).  Everything is bit-for-bit identical
+        # without it — the vectorized numpy program executor is the
+        # always-available fallback — numba just buys the native
+        # gate-walk, the fused XOR+popcount characterization reduction
+        # and the streaming DTA kernel.
+        "jit": ["numba>=0.57"],
+    },
+)

@@ -254,8 +254,14 @@ class PipelineOps:
     def __init__(self, config: "PipelineConfig", library=None, mac=None,
                  systolic_config=None, voltage_model=None) -> None:
         from repro.hw import DEFAULT_BACKEND_ID, get_backend
+        from repro.sim.compiled import set_process_kernel
 
         self.config = config
+        # Install the configured word kernel as the process default
+        # (bit-for-bit neutral, never in cache keys; "auto" resets to
+        # detection and REPRO_SIM_KERNEL still overrides).  Forked
+        # workers inherit the choice with the module state.
+        set_process_kernel(getattr(config, "sim_kernel", "auto"))
         backend = get_backend(
             getattr(config, "backend", DEFAULT_BACKEND_ID))
         self.backend = backend

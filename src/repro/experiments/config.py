@@ -103,7 +103,8 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
                     seed: int = 0, verbose: bool = False,
                     backend: str = DEFAULT_BACKEND_ID,
                     char_jobs: int = 1,
-                    char_batch_weights: int = 0) -> PipelineConfig:
+                    char_batch_weights: int = 0,
+                    sim_kernel: str = "auto") -> PipelineConfig:
     """PipelineConfig for one network spec at the requested scale.
 
     Args:
@@ -120,6 +121,10 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
         char_batch_weights: Weights per one-launch characterization
             megabatch (0 = automatic, 1 = per-weight loop); bit-for-bit
             neutral like ``char_jobs`` and not part of cache keys.
+        sim_kernel: Simulation word-kernel selection
+            (``auto``/``compiled``/``packed``); every kernel is
+            bit-for-bit identical, so this is cache-key-neutral like
+            ``char_jobs``.
     """
     s = get_scale(scale)
     training = NETWORK_TRAINING.get(spec.network, {})
@@ -129,6 +134,7 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
         backend=resolve_backend_id(backend),
         char_jobs=char_jobs,
         char_batch_weights=char_batch_weights,
+        sim_kernel=sim_kernel,
         network=spec.network,
         dataset=spec.dataset,
         num_classes=spec.num_classes,

@@ -53,6 +53,9 @@ class ExperimentContext:
         char_batch_weights: Weights per one-launch characterization
             megabatch (0 = automatic, 1 = per-weight loop); bit-for-bit
             neutral, like ``char_jobs``.
+        sim_kernel: Simulation word-kernel selection
+            (``auto``/``compiled``/``packed``); bit-for-bit neutral,
+            like ``char_jobs``.
     """
 
     def __init__(self, spec: NetworkSpec, scale: str = "ci",
@@ -61,13 +64,15 @@ class ExperimentContext:
                  store: Optional[ArtifactStore] = None,
                  backend=DEFAULT_BACKEND_ID,
                  char_jobs: int = 1,
-                 char_batch_weights: int = 0) -> None:
+                 char_batch_weights: int = 0,
+                 sim_kernel: str = "auto") -> None:
         self.spec = spec
         self.scale = scale
         self.config: PipelineConfig = pipeline_config(
             spec, scale, seed=seed, verbose=verbose, backend=backend,
             char_jobs=char_jobs,
-            char_batch_weights=char_batch_weights)
+            char_batch_weights=char_batch_weights,
+            sim_kernel=sim_kernel)
         self.pruner = PowerPruner(self.config, cache_dir=cache_dir,
                                   store=store)
         self.runner = self.pruner.runner()

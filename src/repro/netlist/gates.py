@@ -337,6 +337,7 @@ class PackedNetlist:
         self.fanin1 = fanins[:, 1]
         self.fanin2 = fanins[:, 2]
         self._schedule: Optional[LevelSchedule] = None
+        self._program = None
 
     def __len__(self) -> int:
         return len(self.types)
@@ -352,6 +353,21 @@ class PackedNetlist:
         if self._schedule is None:
             self._schedule = LevelSchedule(self)
         return self._schedule
+
+    @property
+    def program(self):
+        """Flattened level program, built once and cached.
+
+        The compiled execution backends (:mod:`repro.sim.compiled`)
+        consume this opcode-array form of :attr:`schedule`.  Like the
+        schedule, the cached program travels through pickling so
+        characterization workers receive it warm.
+        """
+        if self._program is None:
+            # Imported lazily: sim.program depends on this module.
+            from repro.sim.program import LevelProgram
+            self._program = LevelProgram(self.schedule)
+        return self._program
 
     def _cell_table(self, per_cell) -> np.ndarray:
         """Per-:class:`GateType` lookup table from a per-cell function."""

@@ -326,7 +326,13 @@ class WeightPowerCharacterizer:
         amortizing the schedule-dispatch and input-packing overhead the
         per-weight loop pays 2^16-scale times over.  Toggle energies
         reduce per weight segment through the segmented popcount
-        without materializing any dense per-net matrix.
+        without materializing any dense per-net matrix.  Both halves of
+        the launch pick up the compiled backend automatically: the walk
+        runs the level program (:mod:`repro.sim.compiled`; JIT
+        interpreter when numba is installed, vectorized program
+        executor otherwise) and, under the JIT, the per-segment toggle
+        counts come from the fused XOR+popcount kernel so the XOR word
+        matrix is never materialized either.
 
         Results are bit-for-bit identical to the per-weight path for
         any ``batch_weights`` chunking — word-wise gate ops never mix

@@ -12,6 +12,13 @@ Vectorized replacements for the commercial tooling the paper uses:
   Design Compiler's STA engine).
 """
 
+from repro.sim.compiled import (
+    active_executor,
+    default_kernel,
+    jit_available,
+    jit_status,
+    set_process_kernel,
+)
 from repro.sim.logic import (
     PackedValues,
     bits_to_int,
@@ -22,6 +29,7 @@ from repro.sim.logic import (
     popcount_words,
     unpack_bits,
 )
+from repro.sim.program import LevelProgram
 from repro.sim.switching import (
     paired_toggle_rates,
     paired_toggle_rates_words,
@@ -31,6 +39,7 @@ from repro.sim.switching import (
 from repro.sim.dynamic_timing import (
     dynamic_arrival_times,
     dynamic_arrival_times_reference,
+    dynamic_bus_arrivals,
     dynamic_delays,
 )
 from repro.sim.static_timing import (
@@ -56,7 +65,14 @@ __all__ = [
     "paired_toggle_rates_words",
     "dynamic_arrival_times",
     "dynamic_arrival_times_reference",
+    "dynamic_bus_arrivals",
     "dynamic_delays",
+    "LevelProgram",
+    "active_executor",
+    "default_kernel",
+    "jit_available",
+    "jit_status",
+    "set_process_kernel",
     "static_arrival_times",
     "static_arrival_times_reference",
     "static_max_delay",

@@ -32,12 +32,20 @@ from typing import Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.netlist.gates import GateType, Netlist, PackedNetlist
+from repro.sim import compiled as _compiled
 from repro.sim.logic import (
     _infer_batch,
     evaluate,
     evaluate_words,
     unpack_bits,
 )
+
+#: Streaming-DTA window of the numpy fallback, in samples.  Must be a
+#: multiple of 64 so every window boundary is word-aligned in the
+#: packed XOR matrix.  2048 samples keeps the per-window arrival slab
+#: of a MAC-sized netlist (~1k nets x 2k float64 ~= 16 MB) inside the
+#: cache-friendly range while amortizing the per-window level walk.
+STREAM_WINDOW_SAMPLES = 2048
 
 
 def _packed(netlist: Union[Netlist, PackedNetlist]) -> PackedNetlist:
@@ -131,6 +139,127 @@ def dynamic_arrival_times(netlist: Union[Netlist, PackedNetlist], library,
         latest *= toggled[group.dst]
         arrivals[group.dst] = latest
     return arrivals, toggled
+
+
+def _propagate_window(packed: PackedNetlist, delays: np.ndarray,
+                      arrivals: np.ndarray,
+                      toggled: np.ndarray) -> None:
+    """One levelized arrival propagation over a sample window.
+
+    Identical op sequence per sample column as
+    :func:`dynamic_arrival_times` — sample columns are independent, so
+    windowing the batch cannot perturb any value.
+    """
+    for group in packed.schedule.fanin_groups:
+        latest = arrivals[group.f0]
+        if group.n_fanins >= 2:
+            np.maximum(latest, arrivals[group.f1], out=latest)
+        if group.n_fanins >= 3:
+            np.maximum(latest, arrivals[group.f2], out=latest)
+        latest += delays[group.dst][:, None]
+        latest *= toggled[group.dst]
+        arrivals[group.dst] = latest
+
+
+def dynamic_bus_arrivals(netlist: Union[Netlist, PackedNetlist], library,
+                         inputs_before: Mapping[str, np.ndarray],
+                         inputs_after: Mapping[str, np.ndarray],
+                         nets: np.ndarray,
+                         window: Optional[int] = None,
+                         kernel: Optional[str] = None,
+                         words_out: Optional[np.ndarray] = None,
+                         arrivals_out: Optional[np.ndarray] = None,
+                         ) -> np.ndarray:
+    """Streaming DTA: arrival times of ``nets`` only.
+
+    The dense ``(nets, batch)`` arrival matrix of
+    :func:`dynamic_arrival_times` is written once and read only at the
+    output bus in the hot characterization path.  This entry point
+    propagates arrivals level by level but *retains* only the requested
+    rows (product bits / output bus), streaming the batch:
+
+    * JIT executor active — one native pass per launch that walks the
+      level program sample by sample, reading toggle bits straight from
+      the packed XOR words and keeping a single per-net arrival vector
+      live (the dense matrix never exists);
+    * numpy fallback — the levelized propagation of
+      :func:`dynamic_arrival_times` over ``window``-sample slabs of a
+      reused ``(all_nets, window)`` buffer, copying out the requested
+      rows per slab.
+
+    Both are bit-for-bit identical to the dense engine: max is exact,
+    the per-net op order is unchanged, and sample columns are
+    independent.
+
+    Args:
+        netlist: Circuit to analyze.
+        library: Cell library supplying gate delays.
+        inputs_before / inputs_after: The transition's two assignments.
+        nets: Net indices whose arrival rows to return.
+        window: Fallback slab width in samples (multiple of 64);
+            defaults to :data:`STREAM_WINDOW_SAMPLES`.
+        kernel: Word-kernel selection for the value evaluation (see
+            :func:`repro.sim.logic.evaluate_words`); forcing
+            ``"packed"`` also forces the windowed fallback walk, giving
+            an all-oracle path.
+        words_out: Optional reusable word matrix for the stacked value
+            evaluation (see :func:`evaluate_words`).
+        arrivals_out: Optional reusable C-contiguous ``float64`` buffer
+            of shape ``(all_nets, min(window, batch))`` for the
+            fallback propagation.  Ignored by the JIT path.
+
+    Returns:
+        ``float64`` arrivals of shape ``(len(nets), batch)`` — equal to
+        ``dynamic_arrival_times(...)[0][nets]``.
+    """
+    packed = _packed(netlist)
+    kernel = _compiled.resolve_kernel(kernel)
+    stacked, batch = _stacked_inputs(packed, inputs_before, inputs_after)
+    values = evaluate_words(packed, stacked, batch=2 * batch,
+                            pair_halves=True, kernel=kernel,
+                            words_out=words_out)
+    before_words, after_words = values.halves()
+    xor_words = before_words ^ after_words
+    delays = packed.gate_delays(library)
+    nets = np.ascontiguousarray(nets, dtype=np.int64)
+    out = np.empty((nets.size, batch), dtype=np.float64)
+
+    if kernel == "compiled" and _compiled.stream_bus_arrivals(
+            packed.program, delays, xor_words, nets, out):
+        return out  # pragma: no cover - needs numba
+
+    if window is None:
+        window = STREAM_WINDOW_SAMPLES
+    if window <= 0 or window % 64:
+        raise ValueError(
+            f"window must be a positive multiple of 64, got {window}")
+    slab = min(window, batch)
+    if arrivals_out is None:
+        arrivals = np.zeros((len(packed), slab), dtype=np.float64)
+    else:
+        if arrivals_out.shape != (len(packed), slab) \
+                or arrivals_out.dtype != np.float64 \
+                or not arrivals_out.flags.c_contiguous:
+            raise ValueError(
+                f"arrivals_out must be a C-contiguous float64 array of "
+                f"shape ({len(packed)}, {slab})")
+        arrivals = arrivals_out
+        # Source rows are never scheduled; clear them once so a dirty
+        # buffer cannot leak into the propagation (gate rows are fully
+        # overwritten per slab).
+        arrivals[packed.schedule.levels == 0] = 0.0
+
+    for start in range(0, batch, window):
+        stop = min(start + window, batch)
+        n = stop - start
+        # Window starts are word-aligned (window % 64 == 0), so the
+        # toggle slab unpacks straight from the XOR word columns.
+        toggled = unpack_bits(
+            xor_words[:, start // 64:(stop + 63) // 64], n)
+        slab_view = arrivals[:, :n]
+        _propagate_window(packed, delays, slab_view, toggled)
+        out[:, start:stop] = slab_view[nets]
+    return out
 
 
 def dynamic_arrival_times_reference(

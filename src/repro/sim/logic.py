@@ -35,6 +35,7 @@ from repro.netlist.gates import (
     Netlist,
     PackedNetlist,
 )
+from repro.sim import compiled as _compiled
 
 ArrayLike = Union[np.ndarray, int, bool]
 
@@ -316,6 +317,13 @@ class BatchedPackedValues:
                 "not a paired evaluation; call evaluate_words_batched("
                 "..., pair_halves=True)")
         wps = self.words_per_segment
+        # The JIT executor fuses XOR + popcount + segment reduction in
+        # one native loop (identical integer counts); fall through to
+        # the segmented-popcount numpy reduction otherwise.
+        fused = _compiled.segment_toggle_counts(
+            self.words, self.n_segments, wps)
+        if fused is not None:  # pragma: no cover - needs numba
+            return fused
         view = self.words.reshape(self.words.shape[0], self.n_segments,
                                   2, wps // 2)
         xor = view[:, :, 0, :] ^ view[:, :, 1, :]
@@ -451,10 +459,46 @@ def _run_schedule_words(schedule: LevelSchedule,
             raise AssertionError(f"unhandled gate type {gtype}")
 
 
+def _run_words(packed: PackedNetlist, schedule: LevelSchedule,
+               words: np.ndarray, kernel: str) -> None:
+    """Run the selected word-domain kernel over ``words``, in place."""
+    if kernel == "compiled":
+        _compiled.run_program_words(packed.program, words)
+    else:
+        _run_schedule_words(schedule, words)
+
+
+def _prepare_words(packed: PackedNetlist, n_words: int,
+                   words_out: Optional[np.ndarray]) -> np.ndarray:
+    """The word matrix a packed evaluation writes into.
+
+    With ``words_out`` the caller's buffer is reused instead of
+    allocating a fresh matrix (hot chunked loops pay one page fault per
+    written page otherwise).  Every row is fully rewritten *except*
+    constant-0 sources, which the fresh-zeros path got for free — so
+    those rows are explicitly cleared here.
+    """
+    if words_out is None:
+        return np.zeros((len(packed), n_words), dtype=WORD_DTYPE)
+    if words_out.dtype != WORD_DTYPE \
+            or words_out.shape != (len(packed), n_words) \
+            or not words_out.flags.c_contiguous:
+        raise ValueError(
+            f"words_out must be a C-contiguous {WORD_DTYPE} array of "
+            f"shape ({len(packed)}, {n_words})")
+    schedule = packed.schedule
+    if schedule.const0.size:
+        words_out[schedule.const0] = 0
+    return words_out
+
+
 def evaluate_words(netlist: Union[Netlist, PackedNetlist],
                    inputs: Mapping[str, ArrayLike],
                    batch: Optional[int] = None,
-                   pair_halves: bool = False) -> PackedValues:
+                   pair_halves: bool = False,
+                   kernel: Optional[str] = None,
+                   words_out: Optional[np.ndarray] = None
+                   ) -> PackedValues:
     """Evaluate every net over bit-packed batches; stay packed.
 
     The packed-domain twin of :func:`evaluate` for consumers that
@@ -471,11 +515,21 @@ def evaluate_words(netlist: Union[Netlist, PackedNetlist],
             (``[before..., after...]``, even length) and pack each half
             word-aligned, so the halves can be XORed word-for-word (see
             :meth:`PackedValues.halves`).
+        kernel: ``"compiled"`` (level-program executor, the default —
+            see :mod:`repro.sim.compiled`) or ``"packed"`` (the group
+            walk kept as oracle); ``None``/``"auto"`` defers to
+            ``REPRO_SIM_KERNEL`` / config.  Bit-for-bit identical
+            either way — the choice never enters cache keys.
+        words_out: Optional preallocated C-contiguous word matrix of
+            shape ``(nets, n_words)`` to evaluate into (reused across
+            chunked launches); contents are overwritten and the
+            returned values alias it.
 
     Returns:
         :class:`PackedValues` with one word row per net.
     """
     packed = _resolve_packed(netlist)
+    kernel = _compiled.resolve_kernel(kernel)
     batch = _infer_batch(inputs, batch)
     input_nets, input_bits = _input_matrix(packed, inputs, batch)
 
@@ -492,13 +546,12 @@ def evaluate_words(netlist: Union[Netlist, PackedNetlist],
     else:
         packed_rows = pack_bits(input_bits)
 
-    words = np.zeros((len(packed), packed_rows.shape[-1]),
-                     dtype=WORD_DTYPE)
+    words = _prepare_words(packed, packed_rows.shape[-1], words_out)
     words[input_nets] = packed_rows
     schedule = packed.schedule
     if schedule.const1.size:
         words[schedule.const1] = ~np.uint64(0)
-    _run_schedule_words(schedule, words)
+    _run_words(packed, schedule, words, kernel)
     return PackedValues(words=words, batch=batch, half_batch=half_batch)
 
 
@@ -506,7 +559,8 @@ def evaluate_words_batched(netlist: Union[Netlist, PackedNetlist],
                            inputs: Mapping[str, ArrayLike],
                            n_segments: Optional[int] = None,
                            batch: Optional[int] = None,
-                           pair_halves: bool = False
+                           pair_halves: bool = False,
+                           kernel: Optional[str] = None
                            ) -> BatchedPackedValues:
     """Evaluate many stimulus segments in **one** kernel launch.
 
@@ -536,11 +590,13 @@ def evaluate_words_batched(netlist: Union[Netlist, PackedNetlist],
         pair_halves: Treat every segment as a stacked before/after pair
             and pack each half word-aligned (the toggle-extraction
             layout; see :func:`evaluate_words`).
+        kernel: Word kernel selection, as in :func:`evaluate_words`.
 
     Returns:
         :class:`BatchedPackedValues` over the whole megabatch.
     """
     packed = _resolve_packed(netlist)
+    kernel = _compiled.resolve_kernel(kernel)
     if n_segments is None or batch is None:
         for value in inputs.values():
             arr = np.asarray(value)
@@ -578,7 +634,7 @@ def evaluate_words_batched(netlist: Union[Netlist, PackedNetlist],
     schedule = packed.schedule
     if schedule.const1.size:
         words[schedule.const1] = ~np.uint64(0)
-    _run_schedule_words(schedule, words)
+    _run_words(packed, schedule, words, kernel)
     return BatchedPackedValues(words=words, n_segments=n_segments,
                                batch=batch, half_batch=half_batch)
 
@@ -586,7 +642,7 @@ def evaluate_words_batched(netlist: Union[Netlist, PackedNetlist],
 def evaluate(netlist: Union[Netlist, PackedNetlist],
              inputs: Mapping[str, ArrayLike],
              batch: Optional[int] = None,
-             kernel: str = "packed") -> np.ndarray:
+             kernel: Optional[str] = None) -> np.ndarray:
     """Evaluate every net of ``netlist`` for a batch of input patterns.
 
     Args:
@@ -595,17 +651,23 @@ def evaluate(netlist: Union[Netlist, PackedNetlist],
             boolean batch array or a scalar (broadcast over the batch).
         batch: Batch size; inferred from the first array input when
             omitted.
-        kernel: ``"packed"`` (default), ``"levelized"`` or
+        kernel: ``"compiled"``, ``"packed"``, ``"levelized"`` or
             ``"reference"`` — all bit-for-bit identical; the slower
             kernels exist as the testing oracle and for benchmarking.
+            ``None``/``"auto"`` (default) resolves through
+            ``REPRO_SIM_KERNEL`` / config (see
+            :mod:`repro.sim.compiled`).
 
     Returns:
         Boolean matrix ``values[net, sample]`` holding the logic value of
         every net for every pattern.
     """
     packed = _resolve_packed(netlist)
-    if kernel == "packed":
-        return evaluate_words(packed, inputs, batch).unpack()
+    if kernel is None or kernel == "auto":
+        kernel = _compiled.default_kernel()
+    if kernel in ("packed", "compiled"):
+        return evaluate_words(packed, inputs, batch,
+                              kernel=kernel).unpack()
     if kernel == "levelized":
         batch = _infer_batch(inputs, batch)
         input_nets, input_bits = _input_matrix(packed, inputs, batch)
@@ -618,7 +680,7 @@ def evaluate(netlist: Union[Netlist, PackedNetlist],
     if kernel == "reference":
         return _evaluate_reference(packed, inputs, batch)
     raise ValueError(f"unknown kernel {kernel!r}; choose from "
-                     f"('packed', 'levelized', 'reference')")
+                     f"('compiled', 'packed', 'levelized', 'reference')")
 
 
 def _evaluate_reference(packed: PackedNetlist,

@@ -38,10 +38,10 @@ import numpy as np
 from repro.cells.library import CellLibrary
 from repro.netlist.mac import MacUnit
 from repro.sim.dynamic_timing import (
-    dynamic_arrival_times,
-    output_bus_arrivals,
+    STREAM_WINDOW_SAMPLES,
+    dynamic_bus_arrivals,
 )
-from repro.sim.logic import bus_inputs
+from repro.sim.logic import WORD_DTYPE, bus_inputs
 from repro.sim.static_timing import input_bus_delays
 
 #: Post-synthesis critical path of the paper's MAC unit.
@@ -147,19 +147,30 @@ class WeightDelayProfiler:
         self.model = MacTimingModel(mac, library)
         self.chunk = chunk
         self._packed = mac.multiplier.packed()
-        # Build the levelized plan once, outside the per-weight loop
-        # (and before any worker pickling ships the packed view).
+        # Build the levelized plan and its compiled level program once,
+        # outside the per-weight loop (and before any worker pickling
+        # ships the packed view, so shards receive both warm).
         self._packed.schedule
-        # Arrival-time buffer reused across chunks and weights; one
-        # (nets, chunk) float64 allocation instead of one per DTA call
-        # (page-faulting a fresh ~50 MB matrix per chunk costs more
-        # than the propagation itself).  Lazily allocated, never
-        # pickled (see __getstate__).
+        self._packed.program
+        # Product-bus net indices the streaming DTA retains; constant
+        # across the profiler's lifetime.
+        self._product_nets = np.asarray(
+            self._packed.netlist.output_bus("product", mac.product_bits),
+            dtype=np.int64)
+        # Scratch reused across chunks and weights: the packed word
+        # matrix of the stacked value evaluation (previously
+        # reallocated per ~chunk-sized window) and the fallback DTA
+        # arrival slab.  One allocation each instead of one per DTA
+        # call — page-faulting fresh buffers per chunk costs more than
+        # the propagation itself.  Lazily allocated, never pickled
+        # (see __getstate__).
+        self._words_buf: Optional[np.ndarray] = None
         self._arrivals_buf: Optional[np.ndarray] = None
 
     def __getstate__(self) -> dict:
-        """Drop the scratch buffer when shipping to worker processes."""
+        """Drop the scratch buffers when shipping to worker processes."""
         state = self.__dict__.copy()
+        state["_words_buf"] = None
         state["_arrivals_buf"] = None
         return state
 
@@ -224,21 +235,30 @@ class WeightDelayProfiler:
 
     def _delays_chunk(self, weight_bus, act_from: np.ndarray,
                       act_to: np.ndarray) -> np.ndarray:
-        out = None
+        # Full-width chunks reuse the preallocated scratch; tail chunks
+        # (different shapes) run bufferless rather than reallocating.
+        words_out = None
+        arrivals_out = None
         if act_from.size == self.chunk:
+            if self._words_buf is None:
+                n_words = 2 * ((self.chunk + 63) // 64)
+                self._words_buf = np.zeros(
+                    (len(self._packed), n_words), dtype=WORD_DTYPE)
             if self._arrivals_buf is None:
                 self._arrivals_buf = np.zeros(
-                    (len(self._packed), self.chunk), dtype=np.float64)
-            out = self._arrivals_buf
+                    (len(self._packed),
+                     min(STREAM_WINDOW_SAMPLES, self.chunk)),
+                    dtype=np.float64)
+            words_out = self._words_buf
+            arrivals_out = self._arrivals_buf
         feed_before = bus_inputs("act", act_from, self.mac.act_bits)
         feed_before.update(weight_bus)
         feed_after = bus_inputs("act", act_to, self.mac.act_bits)
         feed_after.update(weight_bus)
-        arrivals, __ = dynamic_arrival_times(
-            self._packed, self.library, feed_before, feed_after, out=out
-        )
-        product_arrivals = output_bus_arrivals(
-            self._packed, arrivals, "product", self.mac.product_bits
+        product_arrivals = dynamic_bus_arrivals(
+            self._packed, self.library, feed_before, feed_after,
+            self._product_nets, words_out=words_out,
+            arrivals_out=arrivals_out,
         )
         return self.model.compose(product_arrivals)
 

@@ -1,0 +1,443 @@
+"""Equivalence suite for the compiled level-program kernel.
+
+The compiled backend (:mod:`repro.sim.program` +
+:mod:`repro.sim.compiled`) must be *bit-for-bit* equal to the packed
+group walk — which itself is property-tested against the per-gate
+reference — on every netlist, every batch size and both program
+executors.  That equivalence is what lets the pipeline default to the
+compiled kernel with zero golden-file regeneration, zero stage-version
+bumps and no kernel field in any cache key.
+
+The JIT executor needs the optional numba extra (the CI ``jit`` leg);
+in a plain environment both the auto-detected path and the
+``REPRO_SIM_JIT=0`` forced path run the vectorized numpy executor, so
+this suite always covers the executor that actually ships.
+"""
+
+import os
+import pickle
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import default_library
+from repro.netlist import NetlistBuilder, build_mac_unit
+from repro.netlist.gates import GateType, SOURCE_TYPES
+from repro.sim import compiled as compiled_mod
+from repro.sim.compiled import (
+    JIT_ENV,
+    KERNEL_ENV,
+    active_executor,
+    default_kernel,
+    jit_status,
+    resolve_kernel,
+    set_process_kernel,
+)
+from repro.sim.dynamic_timing import (
+    dynamic_arrival_times_reference,
+    dynamic_bus_arrivals,
+)
+from repro.sim.logic import (
+    WORD_DTYPE,
+    bus_inputs,
+    evaluate,
+    evaluate_words,
+    evaluate_words_batched,
+)
+from repro.sim.program import LevelProgram
+
+#: Batch sizes hostile to 64-bit word packing.
+AWKWARD_BATCHES = (1, 3, 63, 64, 65, 127, 128, 129, 200)
+
+_CELL_TYPES = tuple(t for t in GateType if t not in SOURCE_TYPES)
+
+
+@st.composite
+def random_netlists(draw):
+    """A random topologically ordered DAG over all gate types."""
+    builder = NetlistBuilder("random")
+    n_inputs = draw(st.integers(1, 6))
+    nets = [builder.netlist.add_input(f"in[{i}]")
+            for i in range(n_inputs)]
+    if draw(st.booleans()):
+        nets.append(builder.const(False))
+    if draw(st.booleans()):
+        nets.append(builder.const(True))
+    n_gates = draw(st.integers(1, 40))
+    for __ in range(n_gates):
+        gtype = draw(st.sampled_from(_CELL_TYPES))
+        fanins = [nets[draw(st.integers(0, len(nets) - 1))]
+                  for __ in range(
+                      {GateType.INV: 1, GateType.BUF: 1,
+                       GateType.MUX2: 3}.get(gtype, 2))]
+        nets.append(builder.netlist.add_gate(gtype, *fanins))
+    builder.netlist.mark_output("y", nets[-1])
+    builder.netlist.mark_output("z", nets[len(nets) // 2])
+    return builder.build()
+
+
+def _random_feed(netlist, batch, seed):
+    rng = np.random.default_rng(seed)
+    return {name: rng.random(batch) < 0.5
+            for name in netlist.input_names}
+
+
+def _mult_feed(batch, seed=0, pair_halves=False):
+    rng = np.random.default_rng(seed)
+    feed = bus_inputs("act", rng.integers(-128, 128, batch), 8)
+    weights = np.full(batch, -105) if pair_halves \
+        else rng.integers(-128, 128, batch)
+    feed.update(bus_inputs("w", weights, 8))
+    return feed
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(netlist=random_netlists(), batch=st.integers(1, 200),
+           seed=st.integers(0, 2**32 - 1))
+    def test_compiled_matches_reference_and_packed(self, netlist,
+                                                   batch, seed):
+        feed = _random_feed(netlist, batch, seed)
+        reference = evaluate(netlist, feed, kernel="reference")
+        np.testing.assert_array_equal(
+            reference, evaluate(netlist, feed, kernel="compiled"))
+        # Word-level equality is stronger than unpacked equality: even
+        # the garbage padding bits must agree with the packed oracle.
+        packed_words = evaluate_words(netlist, feed, kernel="packed")
+        compiled_words = evaluate_words(netlist, feed, kernel="compiled")
+        np.testing.assert_array_equal(packed_words.words,
+                                      compiled_words.words)
+
+    @settings(max_examples=30, deadline=None)
+    @given(netlist=random_netlists(), batch=st.integers(1, 200),
+           seed=st.integers(0, 2**32 - 1))
+    def test_numpy_executor_forced(self, netlist, batch, seed):
+        """``REPRO_SIM_JIT=0`` pins the numpy executor explicitly."""
+        with mock.patch.dict(os.environ, {JIT_ENV: "0"}):
+            assert active_executor() == "numpy"
+            feed = _random_feed(netlist, batch, seed)
+            np.testing.assert_array_equal(
+                evaluate_words(netlist, feed, kernel="packed").words,
+                evaluate_words(netlist, feed, kernel="compiled").words)
+
+    @pytest.mark.parametrize("batch", AWKWARD_BATCHES)
+    def test_mac_multiplier_awkward_batches(self, batch):
+        mac = build_mac_unit()
+        feed = _mult_feed(batch, seed=batch)
+        np.testing.assert_array_equal(
+            evaluate_words(mac.multiplier, feed, kernel="packed").words,
+            evaluate_words(mac.multiplier, feed,
+                           kernel="compiled").words)
+
+    def test_mux_and_const_corners(self):
+        """MUX2 select polarity and shared constants survive the
+        XOR-select identity and the level reordering."""
+        builder = NetlistBuilder()
+        sel = builder.netlist.add_input("sel")
+        a = builder.netlist.add_input("a")
+        zero = builder.const(False)
+        one = builder.const(True)
+        builder.netlist.mark_output("m", builder.mux2(sel, a, one))
+        builder.netlist.mark_output("n", builder.mux2(a, zero, sel))
+        builder.netlist.mark_output("z", zero)
+        builder.netlist.mark_output("o", one)
+        netlist = builder.build()
+        feed = {"sel": np.array([False, False, True, True] * 17),
+                "a": np.array([False, True, False, True] * 17)}
+        np.testing.assert_array_equal(
+            evaluate(netlist, feed, kernel="reference"),
+            evaluate(netlist, feed, kernel="compiled"))
+
+    def test_batched_segments_match_packed(self):
+        """The one-launch characterization layout (paired megabatch,
+        per-segment frozen weight) is kernel-independent, including the
+        fused toggle counts."""
+        mac = build_mac_unit()
+        rng = np.random.default_rng(9)
+        n_segments, half = 5, 100
+        weights = rng.integers(-128, 128, (n_segments, 1))
+        feed = bus_inputs("act",
+                          rng.integers(-128, 128, 2 * half), 8)
+        feed.update(bus_inputs("w", weights, 8))
+        feed.update(bus_inputs(
+            "psum", rng.integers(-(1 << 21), 1 << 21, 2 * half), 22))
+        packed = evaluate_words_batched(
+            mac.full, feed, n_segments=n_segments, batch=2 * half,
+            pair_halves=True, kernel="packed")
+        comp = evaluate_words_batched(
+            mac.full, feed, n_segments=n_segments, batch=2 * half,
+            pair_halves=True, kernel="compiled")
+        np.testing.assert_array_equal(packed.words, comp.words)
+        np.testing.assert_array_equal(packed.paired_toggle_counts(),
+                                      comp.paired_toggle_counts())
+
+    def test_words_out_reuse_is_exact(self):
+        """A poisoned reused buffer (dirty CONST/padding rows) cannot
+        leak into the compiled evaluation."""
+        mac = build_mac_unit()
+        packed = mac.multiplier.packed()
+        feed = _mult_feed(130, seed=2)
+        fresh = evaluate_words(packed, feed, kernel="compiled")
+        buf = np.full_like(fresh.words, ~np.uint64(0))  # all-ones poison
+        reused = evaluate_words(packed, feed, kernel="compiled",
+                                words_out=buf)
+        assert reused.words is buf
+        np.testing.assert_array_equal(fresh.words, reused.words)
+
+    def test_program_pickles_warm(self):
+        """Workers receive packed views with the program already built."""
+        packed = build_mac_unit().multiplier.packed()
+        packed.schedule
+        program = packed.program
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone._program is not None  # no rebuild in the worker
+        np.testing.assert_array_equal(program.dst, clone.program.dst)
+        feed = _mult_feed(65, seed=7)
+        np.testing.assert_array_equal(
+            evaluate(packed, feed, kernel="compiled"),
+            evaluate(clone, feed, kernel="compiled"))
+
+
+class TestLevelProgram:
+    @settings(max_examples=40, deadline=None)
+    @given(netlist=random_netlists())
+    def test_program_invariants(self, netlist):
+        packed = netlist.packed()
+        schedule = packed.schedule
+        program = packed.program
+        # Every scheduled gate appears exactly once, sources never.
+        gates = [net for net, __, __ in netlist.iter_gates()]
+        assert sorted(program.dst.tolist()) == gates
+        assert program.n_gates == len(gates)
+        levels = schedule.levels
+        for start, stop, mux_start, g0, g1, has_inv, runs \
+                in program.level_plan:
+            dst = program.dst[start:stop]
+            # Level-major: one level per plan entry, deps strictly
+            # earlier (the reordering freedom the executor relies on).
+            assert np.unique(levels[dst]).size == 1
+            for src, live in (
+                    (program.src0[start:stop],
+                     program.arity[start:stop] >= 1),
+                    (program.src1[start:stop],
+                     program.arity[start:stop] >= 2),
+                    (program.src2[start:stop],
+                     program.arity[start:stop] >= 3)):
+                assert (levels[src[live]] < levels[dst[live]]).all()
+            # MUX2 is exactly the tail run.
+            ops = program.ops[start:stop]
+            assert (ops[mux_start - start:] == GateType.MUX2).all()
+            assert not (ops[:mux_start - start] == GateType.MUX2).any()
+            # Invert mask is all-ones exactly on the inverting types.
+            inverting = np.isin(ops, (GateType.NAND2, GateType.NOR2,
+                                      GateType.XNOR2, GateType.INV))
+            np.testing.assert_array_equal(
+                program.inv_mask[start:stop] == ~np.uint64(0), inverting)
+            assert has_inv == bool(inverting.any())
+            # The merged gather is [src0 | src1_safe | mux src2].
+            n = stop - start
+            gather = program.gather_idx[g0:g1]
+            assert g1 - g0 == 2 * n + (stop - mux_start)
+            np.testing.assert_array_equal(gather[:n],
+                                          program.src0[start:stop])
+            np.testing.assert_array_equal(
+                gather[n:2 * n], program.src1_safe[start:stop])
+            np.testing.assert_array_equal(
+                gather[2 * n:], program.src2[mux_start:stop])
+            # Binop runs tile exactly the two-input non-MUX gates, with
+            # the right ufunc family.
+            families = {0: (GateType.AND2, GateType.NAND2),
+                        1: (GateType.OR2, GateType.NOR2),
+                        2: (GateType.XOR2, GateType.XNOR2)}
+            covered = np.zeros(n, dtype=bool)
+            for family, r0, r1 in runs:
+                assert not covered[r0:r1].any()
+                covered[r0:r1] = True
+                assert np.isin(ops[r0:r1], families[family]).all()
+            assert (covered == np.isin(ops, sum(families.values(), ())))\
+                .all()
+
+    def test_stats_shape(self):
+        program = build_mac_unit().multiplier.packed().program
+        assert program.n_gates > 0
+        stats = program.stats()
+        assert stats["n_gates"] == program.n_gates
+        assert stats["n_levels"] == program.n_levels > 2
+        assert stats["n_binop_runs"] > 0
+
+    def test_source_only_netlist(self):
+        builder = NetlistBuilder("sources")
+        builder.netlist.add_input("a")
+        b = builder.netlist.add_input("b")
+        builder.netlist.mark_output("y", b)
+        packed = builder.build().packed()
+        program = packed.program
+        assert program.n_gates == 0
+        assert program.level_plan == ()
+        feed = {"a": np.ones(70, bool), "b": np.zeros(70, bool)}
+        np.testing.assert_array_equal(
+            evaluate(packed, feed, kernel="reference"),
+            evaluate(packed, feed, kernel="compiled"))
+
+
+class TestKernelSelection:
+    @pytest.fixture(autouse=True)
+    def _reset_process_kernel(self):
+        yield
+        set_process_kernel(None)
+
+    def test_default_prefers_compiled(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        set_process_kernel(None)
+        assert default_kernel() == "compiled"
+        assert resolve_kernel(None) == "compiled"
+        assert resolve_kernel("auto") == "compiled"
+        assert resolve_kernel("packed") == "packed"
+
+    def test_process_kernel_from_config(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        set_process_kernel("packed")
+        assert default_kernel() == "packed"
+        set_process_kernel("auto")  # config 'auto' resets
+        assert default_kernel() == "compiled"
+
+    def test_env_override_beats_process_kernel(self, monkeypatch):
+        set_process_kernel("compiled")
+        monkeypatch.setenv(KERNEL_ENV, "packed")
+        assert default_kernel() == "packed"
+        monkeypatch.setenv(KERNEL_ENV, "auto")  # env 'auto' defers
+        assert default_kernel() == "compiled"
+
+    def test_invalid_kernel_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown sim kernel"):
+            resolve_kernel("quantum")
+        with pytest.raises(ValueError, match="unknown sim kernel"):
+            set_process_kernel("quantum")
+        monkeypatch.setenv(KERNEL_ENV, "quantum")
+        with pytest.raises(ValueError, match="unknown sim kernel"):
+            default_kernel()
+
+    def test_evaluate_error_lists_compiled(self):
+        builder = NetlistBuilder()
+        builder.netlist.add_input("a")
+        with pytest.raises(ValueError, match="compiled"):
+            evaluate(builder.build(), {"a": True}, kernel="quantum")
+
+    def test_jit_status_reports_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(JIT_ENV, "off")
+        status = jit_status()
+        assert status["active"] is False
+        assert "disabled" in status["reason"]
+        assert active_executor() == "numpy"
+        monkeypatch.delenv(JIT_ENV)
+        status = jit_status()
+        # With the switch released the decision is the import probe's.
+        assert status["active"] == status["available"]
+        assert isinstance(status["reason"], str)
+
+    def test_segment_counts_none_without_jit(self, monkeypatch):
+        monkeypatch.setenv(JIT_ENV, "0")
+        words = np.zeros((3, 4), dtype=WORD_DTYPE)
+        assert compiled_mod.segment_toggle_counts(words, 2, 2) is None
+
+    def test_stream_false_without_jit(self, monkeypatch):
+        monkeypatch.setenv(JIT_ENV, "0")
+        packed = build_mac_unit().multiplier.packed()
+        ok = compiled_mod.stream_bus_arrivals(
+            packed.program, np.zeros(len(packed)),
+            np.zeros((len(packed), 1), dtype=WORD_DTYPE),
+            np.array([0], dtype=np.int64), np.zeros((1, 64)))
+        assert ok is False
+
+
+class TestStreamingDTA:
+    @settings(max_examples=40, deadline=None)
+    @given(netlist=random_netlists(), batch=st.integers(1, 130),
+           seed=st.integers(0, 2**32 - 1))
+    def test_streaming_matches_reference(self, netlist, batch, seed):
+        library = default_library()
+        before = _random_feed(netlist, batch, seed)
+        after = _random_feed(netlist, batch, seed + 1)
+        ref_arrivals, __ = dynamic_arrival_times_reference(
+            netlist, library, before, after)
+        nets = np.arange(ref_arrivals.shape[0], dtype=np.int64)
+        np.testing.assert_array_equal(
+            ref_arrivals,
+            dynamic_bus_arrivals(netlist, library, before, after, nets))
+
+    def _mult_transition(self, n, seed=3):
+        mac = build_mac_unit()
+        rng = np.random.default_rng(seed)
+        weight_bus = bus_inputs("w", np.full(n, -105), 8)
+        before = bus_inputs("act", rng.integers(-128, 128, n), 8)
+        before.update(weight_bus)
+        after = bus_inputs("act", rng.integers(-128, 128, n), 8)
+        after.update(weight_bus)
+        nets = np.asarray(
+            mac.multiplier.output_bus("product", mac.product_bits),
+            dtype=np.int64)
+        return mac.multiplier.packed(), before, after, nets
+
+    @pytest.mark.parametrize("batch", (63, 64, 129, 200))
+    def test_windowing_is_invisible(self, batch):
+        """Slab boundaries (and a tail window) cannot perturb a bit."""
+        library = default_library()
+        packed, before, after, nets = self._mult_transition(batch)
+        whole = dynamic_bus_arrivals(packed, library, before, after,
+                                     nets)
+        windowed = dynamic_bus_arrivals(packed, library, before, after,
+                                        nets, window=64)
+        np.testing.assert_array_equal(whole, windowed)
+        ref_arrivals, __ = dynamic_arrival_times_reference(
+            packed, library, before, after)
+        np.testing.assert_array_equal(whole, ref_arrivals[nets])
+
+    def test_packed_kernel_is_the_oracle_path(self):
+        library = default_library()
+        packed, before, after, nets = self._mult_transition(100)
+        np.testing.assert_array_equal(
+            dynamic_bus_arrivals(packed, library, before, after, nets),
+            dynamic_bus_arrivals(packed, library, before, after, nets,
+                                 kernel="packed"))
+
+    def test_arrivals_out_reuse_is_exact(self):
+        library = default_library()
+        packed, before, after, nets = self._mult_transition(190)
+        fresh = dynamic_bus_arrivals(packed, library, before, after,
+                                     nets, window=128)
+        buf = np.full((len(packed), 128), np.nan)  # poisoned
+        reused = dynamic_bus_arrivals(packed, library, before, after,
+                                      nets, window=128,
+                                      arrivals_out=buf)
+        np.testing.assert_array_equal(fresh, reused)
+
+    def test_window_and_buffer_validation(self):
+        library = default_library()
+        packed, before, after, nets = self._mult_transition(70)
+        with pytest.raises(ValueError, match="multiple of 64"):
+            dynamic_bus_arrivals(packed, library, before, after, nets,
+                                 window=100)
+        with pytest.raises(ValueError, match="arrivals_out"):
+            dynamic_bus_arrivals(packed, library, before, after, nets,
+                                 window=64,
+                                 arrivals_out=np.zeros((3, 64)))
+
+    def test_profiler_is_kernel_independent(self, monkeypatch):
+        """The full profiler path (chunking, buffer reuse, compose) is
+        bit-for-bit identical under either kernel."""
+        from repro.timing.profile import WeightDelayProfiler
+
+        mac = build_mac_unit()
+        library = default_library()
+        rng = np.random.default_rng(5)
+        act_from = rng.integers(-128, 128, 230)
+        act_to = rng.integers(-128, 128, 230)
+        monkeypatch.setenv(KERNEL_ENV, "compiled")
+        compiled = WeightDelayProfiler(mac, library, chunk=64).delays(
+            -105, act_from, act_to)
+        monkeypatch.setenv(KERNEL_ENV, "packed")
+        packed = WeightDelayProfiler(mac, library, chunk=64).delays(
+            -105, act_from, act_to)
+        np.testing.assert_array_equal(compiled, packed)
