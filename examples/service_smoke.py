@@ -1,0 +1,129 @@
+"""End-to-end smoke test of the experiment service over real HTTP.
+
+Exercises the full job lifecycle against a running ``python -m repro
+serve`` instance using nothing but the standard library, so CI (and a
+laptop) can drive it without installing a test client:
+
+1. wait for ``GET /healthz``;
+2. submit a 2-point smoke sweep and poll it to ``done``;
+3. re-submit the same sweep and assert it is served from the warm
+   cache (every point precached + cached);
+4. submit a poisoned job (the chaos knob fails one point *before* the
+   cache) and assert it finishes ``partial`` with the surviving rows
+   still retrievable — the graceful-degradation contract.
+
+Exits non-zero on the first violated expectation.
+
+Usage::
+
+    python -m repro serve --port 8123 --cache-dir .service-cache &
+    python examples/service_smoke.py --base-url http://127.0.0.1:8123
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SWEEP = {"experiment": "fig8", "scale": "smoke",
+         "thresholds": [None, 900.0]}
+
+TERMINAL = ("done", "partial", "failed")
+
+
+def request(base_url, path, body=None):
+    url = base_url.rstrip("/") + path
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"content-type": "application/json"} if data else {})
+    with urllib.request.urlopen(req, timeout=30) as response:
+        return json.loads(response.read().decode())
+
+
+def wait_for_service(base_url, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            health = request(base_url, "/healthz")
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.5)
+            continue
+        print(f"service up: {health['status']} "
+              f"(cache: {health['cache_dir']})")
+        return
+    raise SystemExit(f"service never came up at {base_url}")
+
+
+def poll_to_terminal(base_url, job_id, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = request(base_url, f"/sweeps/{job_id}")
+        if status["state"] in TERMINAL:
+            return status
+        points = status["points"]
+        print(f"  job {job_id}: {status['state']} "
+              f"({points['done']}/{points['total']} done)")
+        time.sleep(1.0)
+    raise SystemExit(f"job {job_id} never reached a terminal state")
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--base-url", default="http://127.0.0.1:8123")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job polling budget in seconds")
+    args = parser.parse_args(argv)
+    base = args.base_url
+
+    wait_for_service(base, timeout_s=60.0)
+
+    print("submitting the smoke sweep (cold cache)...")
+    submitted = request(base, "/sweeps", SWEEP)
+    check(submitted["state"] in ("queued", "running", "done"),
+          f"submission accepted as {submitted['state']}")
+    status = poll_to_terminal(base, submitted["job_id"], args.timeout)
+    check(status["state"] == "done", "cold job finished done")
+    check(status["points"]["done"] == 2, "both points produced rows")
+
+    print("re-submitting the same sweep (warm cache)...")
+    resubmitted = request(base, "/sweeps", SWEEP)
+    status = poll_to_terminal(base, resubmitted["job_id"], args.timeout)
+    check(status["state"] == "done", "warm job finished done")
+    check(status["points"]["precached"] == 2,
+          "every point was precached")
+    check(status["points"]["cached"] == 2,
+          "every point was served from the cache")
+    result = request(base, f"/sweeps/{resubmitted['job_id']}/result")
+    check(result["n_rows"] == 2, "warm result carries both rows")
+
+    print("submitting a poisoned job (chaos knob)...")
+    poisoned = request(base, "/sweeps",
+                       dict(SWEEP, poison="threshold=900"))
+    status = poll_to_terminal(base, poisoned["job_id"], args.timeout)
+    check(status["state"] == "partial",
+          "poisoned job degraded to partial, not failed")
+    check(status["points"]["failed"] == 1, "exactly one point failed")
+    result = request(base, f"/sweeps/{poisoned['job_id']}/result")
+    check(result["n_rows"] == 1, "the surviving row is retrievable")
+    check(result["failures"][0]["kind"] == "error",
+          "the failure record is structured")
+
+    health = request(base, "/healthz")
+    counters = health["counters"]
+    check(counters["jobs_done"] >= 2 and counters["jobs_partial"] >= 1,
+          f"service counters add up: {counters}")
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,5 +20,11 @@ setup(
         # gate-walk, the fused XOR+popcount characterization reduction
         # and the streaming DTA kernel.
         "jit": ["numba>=0.57"],
+        # Optional HTTP experiment service (repro.service): an async
+        # job queue over the sweep engine.  The job layer itself is
+        # dependency-free; fastapi/uvicorn only serve it over HTTP
+        # (`python -m repro serve`).  Tier-1 tests skip the HTTP layer
+        # cleanly when the extra is absent, mirroring the jit extra.
+        "service": ["fastapi>=0.100", "uvicorn>=0.23"],
     },
 )

@@ -71,6 +71,12 @@ def main(argv=None) -> int:
         from repro.experiments import sweep
 
         return sweep.cli_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The experiment service (HTTP job queue over the sweep
+        # engine); needs the optional 'service' extra.
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -78,11 +84,13 @@ def main(argv=None) -> int:
                     "paper (DAC 2023)",
     )
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS) + ["sweep"],
+                        choices=sorted(EXPERIMENTS) + ["sweep",
+                                                       "serve"],
                         help="which table/figure to regenerate "
                              "('backends' compares hardware backends; "
-                             "'sweep' runs a declarative grid, see "
-                             "'sweep --help')")
+                             "'sweep' runs a declarative grid; 'serve' "
+                             "runs the HTTP experiment service, see "
+                             "'sweep --help' / 'serve --help')")
     parser.add_argument("--scale", default="ci",
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
@@ -130,9 +138,9 @@ def main(argv=None) -> int:
     if args.experiment is None:
         parser.error("an experiment is required "
                      "(or use --list-backends)")
-    if args.experiment == "sweep":
-        parser.error("'sweep' must come first: "
-                     "python -m repro sweep [flags]")
+    if args.experiment in ("sweep", "serve"):
+        parser.error(f"'{args.experiment}' must come first: "
+                     f"python -m repro {args.experiment} [flags]")
     if args.backend is not None:
         try:
             get_backend(args.backend)

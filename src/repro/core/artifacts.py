@@ -10,8 +10,21 @@ The store has two layers:
 
 * an in-memory dict, always on — repeated lookups within a process
   return the *same object* instantly;
-* an optional on-disk cache (one pickle per key, written atomically via
-  rename), so separate processes and separate runs share artifacts.
+* an optional persistent layer behind the :class:`StorageBackend`
+  seam.  The built-in :class:`LocalDirStorage` keeps one pickle per
+  key in a local directory (written atomically via rename), so
+  separate processes and separate runs share artifacts.  Other
+  backends (an object store for a multi-node worker fleet) plug in
+  through :func:`register_storage_scheme` / :func:`storage_from_url`
+  without the store — or any of its callers — changing; everything
+  that today passes a ``cache_dir`` path can pass a
+  ``scheme://bucket/prefix`` URL instead.
+
+Membership is defined by *readability*: ``key in store`` is true
+exactly when :meth:`ArtifactStore.get` would return the artifact.  A
+truncated or corrupt persistent entry (a writer killed mid-dump) is
+evicted on first contact and reported as a miss, never as a phantom
+hit.
 """
 
 from __future__ import annotations
@@ -20,13 +33,22 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Union
 
 import numpy as np
 
-__all__ = ["ArtifactStore", "hash_key"]
+__all__ = [
+    "ArtifactStore",
+    "LocalDirStorage",
+    "StorageBackend",
+    "hash_key",
+    "register_storage_scheme",
+    "storage_from_url",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -58,62 +80,96 @@ def hash_key(payload: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-class ArtifactStore:
-    """Two-layer (memory + optional disk) content-addressed store.
+# ----------------------------------------------------------------------
+# persistent-layer seam
+# ----------------------------------------------------------------------
+#: Tmp files older than this are presumed orphaned by a killed writer
+#: and safe to sweep; younger ones may belong to a live writer whose
+#: atomic rename must not be sabotaged.
+STALE_TMP_MAX_AGE_S = 3600.0
 
-    Args:
-        cache_dir: Directory for the on-disk layer; created on first
-            write.  ``None`` keeps the store memory-only.
 
-    Attributes:
-        hits / misses: Lookup counters (``get_or_compute`` only).
-        disk_hits: Subset of ``hits`` served from disk.
+class StorageBackend:
+    """Byte-level persistent layer under :class:`ArtifactStore`.
+
+    Implementations deal in opaque ``(key, bytes)`` pairs — the store
+    owns (un)pickling and corruption handling.  ``LocalDirStorage`` is
+    the built-in local-directory backend; an object-storage backend
+    (S3 and friends) implements the same five methods and registers a
+    URL scheme via :func:`register_storage_scheme`.
     """
 
-    def __init__(self, cache_dir: Optional[Union[str, Path]] = None
-                 ) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None and self.cache_dir.exists() \
-                and not self.cache_dir.is_dir():
+    def read(self, key: str) -> bytes:
+        """The stored bytes of ``key``; raises ``KeyError`` on a miss."""
+        raise NotImplementedError
+
+    def write(self, key: str, data: bytes) -> None:
+        """Durably store ``data`` under ``key`` (atomic per key)."""
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (may be optimistic about readability)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``; missing entries are not an error."""
+        raise NotImplementedError
+
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_MAX_AGE_S,
+                        prefix: Optional[str] = None) -> int:
+        """Remove write-leftovers older than ``max_age_s`` seconds.
+
+        Backends whose writes cannot leave partial litter (true object
+        stores) keep this default no-op.  Returns the removal count.
+        """
+        return 0
+
+    def describe(self) -> str:
+        """Human-readable location (for logs and the health endpoint)."""
+        return type(self).__name__
+
+
+#: mkstemp litter of :class:`LocalDirStorage`: ``.<key[:16]>-<random>``.
+_TMP_NAME = re.compile(r"^\.[0-9a-f]{16}-")
+
+
+class LocalDirStorage(StorageBackend):
+    """One ``<key>.pkl`` file per artifact in a local directory.
+
+    Writes go through ``mkstemp`` + ``os.replace`` so parallel writers
+    race safely; a writer killed between the two leaves a
+    ``.<key[:16]>-*`` tmp file that :meth:`sweep_stale_tmp` reclaims.
+    """
+
+    scheme = "file"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
             raise ValueError(
-                f"cache_dir {str(self.cache_dir)!r} exists and is not "
+                f"cache_dir {str(self.root)!r} exists and is not "
                 f"a directory")
-        self._memory: Dict[str, Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
 
-    # ------------------------------------------------------------------
-    # plumbing
-    # ------------------------------------------------------------------
-    def _path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{key}.pkl"
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
 
-    def _read_disk(self, key: str) -> Any:
+    def read(self, key: str) -> bytes:
         path = self._path(key)
-        if path is None or not path.is_file():
+        if not path.is_file():
             raise KeyError(key)
         try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            # A truncated/corrupt entry (e.g. a killed writer) is a miss.
+            return path.read_bytes()
+        except OSError:
             raise KeyError(key) from None
 
-    def _write_disk(self, key: str, value: Any) -> None:
-        path = self._path(key)
-        if path is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
+    def write(self, key: str, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root,
                                         prefix=f".{key[:16]}-")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)  # atomic: parallel writers race OK
+                handle.write(data)
+            os.replace(tmp_name, self._path(key))  # atomic rename
         except Exception:
             try:
                 os.unlink(tmp_name)
@@ -121,20 +177,183 @@ class ArtifactStore:
                 pass
             raise
 
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def delete(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+    def _tmp_files(self, prefix: Optional[str]) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for entry in self.root.iterdir():
+            name = entry.name
+            if not _TMP_NAME.match(name):
+                continue
+            if prefix is not None and not name.startswith(f".{prefix}-"):
+                continue
+            yield entry
+
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_MAX_AGE_S,
+                        prefix: Optional[str] = None) -> int:
+        """Unlink orphaned write-tmp files older than ``max_age_s``.
+
+        ``prefix`` (the first 16 hex chars of a key) narrows the sweep
+        to one key's litter — used when a corrupt entry proves that a
+        writer of that key died mid-write.
+        """
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for entry in self._tmp_files(prefix):
+            try:
+                if entry.stat().st_mtime <= cutoff:
+                    entry.unlink()
+                    removed += 1
+            except OSError:
+                continue  # a live writer renamed/removed it first
+        return removed
+
+    def describe(self) -> str:
+        return f"local dir {str(self.root)!r}"
+
+
+#: URL scheme -> factory taking the ``scheme://...`` URL.  ``file`` is
+#: built in; deployments register object-storage schemes here.
+_STORAGE_SCHEMES: Dict[str, Callable[[str], StorageBackend]] = {}
+
+
+def register_storage_scheme(scheme: str,
+                            factory: Callable[[str], StorageBackend]
+                            ) -> None:
+    """Register ``factory`` for ``scheme://...`` artifact-store URLs.
+
+    The factory receives the full URL and returns a
+    :class:`StorageBackend`.  This is the seam an S3/GCS backend plugs
+    into: once registered, every ``cache_dir`` argument in the repo
+    (CLI flags, sweep specs, service config) accepts its URLs.
+    """
+    _STORAGE_SCHEMES[str(scheme).lower()] = factory
+
+
+def _file_storage(url: str) -> StorageBackend:
+    return LocalDirStorage(url[len("file://"):] or "/")
+
+
+register_storage_scheme("file", _file_storage)
+
+
+def storage_from_url(location: Union[str, Path]) -> StorageBackend:
+    """A :class:`StorageBackend` from a path or ``scheme://...`` URL."""
+    text = str(location)
+    match = re.match(r"^([A-Za-z][A-Za-z0-9+.-]*)://", text)
+    if match is None:
+        return LocalDirStorage(text)
+    scheme = match.group(1).lower()
+    factory = _STORAGE_SCHEMES.get(scheme)
+    if factory is None:
+        known = ", ".join(sorted(_STORAGE_SCHEMES))
+        raise ValueError(
+            f"no artifact storage backend registered for "
+            f"{scheme}:// URLs (known: {known}); see "
+            f"register_storage_scheme")
+    return factory(text)
+
+
+class ArtifactStore:
+    """Two-layer (memory + optional persistent) content-addressed store.
+
+    Args:
+        cache_dir: Location of the persistent layer — a directory path
+            (created on first write) or a ``scheme://...`` URL
+            resolved via :func:`storage_from_url`.  ``None`` keeps the
+            store memory-only.
+        storage: An explicit :class:`StorageBackend` (mutually
+            exclusive with ``cache_dir``).
+
+    Attributes:
+        hits / misses: Lookup counters (``get_or_compute`` only).
+        disk_hits: Subset of ``hits`` served from the persistent layer.
+        corrupt_evictions: Persistent entries evicted because they
+            failed to unpickle (truncated by a killed writer).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
+                 storage: Optional[StorageBackend] = None) -> None:
+        if storage is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir or storage, not both")
+        if storage is None and cache_dir is not None:
+            storage = storage_from_url(cache_dir)
+        self.storage = storage
+        self.cache_dir = getattr(storage, "root", None)
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.corrupt_evictions = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _read_disk(self, key: str) -> Any:
+        """Unpickle ``key`` from the persistent layer.
+
+        A corrupt entry (truncated pickle from a killed writer) is
+        *evicted* — together with that key's stale write-tmp litter —
+        and reported as a ``KeyError`` miss, so membership, ``get``
+        and ``get_or_compute`` all agree that it does not exist.
+        """
+        if self.storage is None:
+            raise KeyError(key)
+        data = self.storage.read(key)
+        try:
+            return pickle.loads(data)
+        except Exception:
+            self.corrupt_evictions += 1
+            try:
+                self.storage.delete(key)
+            except Exception:
+                pass
+            try:
+                self.storage.sweep_stale_tmp(prefix=key[:16])
+            except Exception:
+                pass
+            raise KeyError(key) from None
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        if self.storage is None:
+            return
+        self.storage.write(
+            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
+        """True iff :meth:`get` would return the artifact.
+
+        Persistent entries are actually *read* (and promoted into the
+        memory layer), not just stat-ed — a truncated on-disk pickle
+        must not report itself as present and then miss on ``get``
+        (the sweep progress banner counts "already cached" points
+        through this very check).
+        """
         if key in self._memory:
             return True
-        path = self._path(key)
-        return path is not None and path.is_file()
+        try:
+            value = self._read_disk(key)
+        except KeyError:
+            return False
+        self._memory[key] = value
+        return True
 
     def __len__(self) -> int:
         return len(self._memory)
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Fetch without computing (memory first, then disk)."""
+        """Fetch without computing (memory first, then persistent)."""
         if key in self._memory:
             return self._memory[key]
         try:
@@ -145,7 +364,7 @@ class ArtifactStore:
         return value
 
     def put(self, key: str, value: Any) -> Any:
-        """Store in memory and (when configured) on disk."""
+        """Store in memory and (when configured) persistently."""
         self._memory[key] = value
         self._write_disk(key, value)
         return value
@@ -181,6 +400,22 @@ class ArtifactStore:
         self._memory[key] = value
         return value
 
+    def sweep_stale_tmp(self,
+                        max_age_s: float = STALE_TMP_MAX_AGE_S) -> int:
+        """Reclaim write-tmp litter left by killed writers (count)."""
+        if self.storage is None:
+            return 0
+        return self.storage.sweep_stale_tmp(max_age_s)
+
+    def counters(self) -> Dict[str, int]:
+        """Structured lookup/eviction counters (service telemetry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "corrupt_evictions": self.corrupt_evictions,
+        }
+
     def clear_memory(self) -> None:
-        """Drop the in-memory layer (disk entries survive)."""
+        """Drop the in-memory layer (persistent entries survive)."""
         self._memory.clear()

@@ -77,6 +77,7 @@ __all__ = [
     "AggregateRow",
     "make_sweep_spec",
     "load_sweep_file",
+    "sweep_spec_from_mapping",
     "expand",
     "point_config",
     "point_cache_key",
@@ -214,24 +215,19 @@ def make_sweep_spec(experiment: str,
                      seeds=seed_axis, scale=scale)
 
 
-def load_sweep_file(path) -> SweepSpec:
-    """A :class:`SweepSpec` from a small JSON or TOML file.
+def sweep_spec_from_mapping(data: Mapping[str, Any],
+                            source: str = "sweep spec") -> SweepSpec:
+    """A :class:`SweepSpec` from an already-parsed JSON/TOML mapping.
 
-    Recognized keys: ``experiment`` (required), ``backends``,
+    The single validator behind :func:`load_sweep_file` and the
+    experiment service's ``POST /sweeps`` body — both accept exactly
+    the same keys: ``experiment`` (required), ``backends``,
     ``networks``, ``thresholds`` (``null``/``"none"`` entries mean "no
     restriction" for fig8), ``seeds``, ``scale``.
     """
-    path = Path(path)
-    text = path.read_text()
-    if path.suffix.lower() == ".toml":
-        import tomllib
-
-        data = tomllib.loads(text)
-    else:
-        data = json.loads(text)
-    if not isinstance(data, dict) or "experiment" not in data:
+    if not isinstance(data, Mapping) or "experiment" not in data:
         raise ValueError(
-            f"sweep spec {str(path)!r} must be a table/object with an "
+            f"{source} must be a table/object with an "
             f"'experiment' key")
     known = {"experiment", "backends", "networks", "thresholds",
              "seeds", "scale"}
@@ -252,6 +248,23 @@ def load_sweep_file(path) -> SweepSpec:
         seeds=data.get("seeds"),
         scale=data.get("scale", "ci"),
     )
+
+
+def load_sweep_file(path) -> SweepSpec:
+    """A :class:`SweepSpec` from a small JSON or TOML file.
+
+    See :func:`sweep_spec_from_mapping` for the recognized keys.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        data = tomllib.loads(text)
+    else:
+        data = json.loads(text)
+    return sweep_spec_from_mapping(data, source=f"sweep spec "
+                                                f"{str(path)!r}")
 
 
 @dataclass(frozen=True)

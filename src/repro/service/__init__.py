@@ -1,0 +1,31 @@
+"""Long-running experiment service: async sweep jobs over HTTP.
+
+The job layer (:mod:`repro.service.jobs`) is dependency-free and fully
+usable in-process; the HTTP layer (:mod:`repro.service.app`) needs the
+optional ``service`` extra (fastapi + uvicorn) and is imported lazily
+so ``import repro.service`` never pulls it in.
+"""
+
+from repro.service.jobs import (
+    ExperimentJob,
+    JobManager,
+    JobState,
+    records_to_csv,
+)
+
+__all__ = ["ExperimentJob", "JobManager", "JobState",
+           "records_to_csv", "create_app", "fastapi_available"]
+
+
+def create_app(*args, **kwargs):
+    """Lazy proxy for :func:`repro.service.app.create_app`."""
+    from repro.service.app import create_app as _create_app
+
+    return _create_app(*args, **kwargs)
+
+
+def fastapi_available() -> bool:
+    """Whether the optional ``service`` extra is importable."""
+    from repro.service.app import fastapi_available as _available
+
+    return _available()

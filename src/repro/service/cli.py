@@ -1,0 +1,89 @@
+"""``python -m repro serve`` — run the experiment service.
+
+Binds the FastAPI app (optional ``service`` extra) to a host/port via
+uvicorn, with one shared artifact cache for every job the service
+runs.  Example::
+
+    pip install '.[service]'
+    python -m repro serve --port 8000 --cache-dir .service-cache \
+        --jobs 2
+
+    curl -X POST localhost:8000/sweeps -H 'content-type: application/json' \
+        -d '{"experiment": "fig8", "scale": "smoke", \
+             "thresholds": [null, 900.0]}'
+    curl localhost:8000/sweeps/<job_id>
+    curl localhost:8000/sweeps/<job_id>/result
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+__all__ = ["serve_main"]
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve sweep experiments over HTTP: an async job "
+                    "queue over the sweep engine with one shared warm "
+                    "artifact cache",
+        epilog="Requires the optional service extra: "
+               "pip install '.[service]'",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="bind port (default: 8000)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache every job shares — a "
+                             "directory or a registered scheme:// URL "
+                             "(default: a service-lifetime temp dir)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="default processes per job's grid points "
+                             "(0 = all cores; default: 1)")
+    parser.add_argument("--char-jobs", type=int, default=1, metavar="N",
+                        help="default per-point characterization "
+                             "sharding (default: 1)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="retries for points lost to pool "
+                             "breakage, with exponential backoff "
+                             "(default: 2)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="S",
+                        help="first retry backoff in seconds; doubles "
+                             "per wave (default: 0.5)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="default per-job wall-clock budget; "
+                             "unfinished points fail, finished rows "
+                             "survive (default: unlimited)")
+    parser.add_argument("--log-level", default="info",
+                        help="uvicorn log level (default: info)")
+    args = parser.parse_args(argv)
+
+    try:
+        import uvicorn
+
+        from repro.service.app import create_app
+        app = create_app(cache_dir=args.cache_dir, jobs=args.jobs,
+                         char_jobs=args.char_jobs,
+                         max_retries=args.max_retries,
+                         retry_backoff_s=args.retry_backoff,
+                         timeout_s=args.timeout)
+    except (ImportError, RuntimeError) as error:
+        parser.error(
+            f"{error}\nthe experiment service needs fastapi + uvicorn; "
+            f"install the optional extra: pip install '.[service]'")
+
+    uvicorn.run(app, host=args.host, port=args.port,
+                log_level=args.log_level)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(serve_main())

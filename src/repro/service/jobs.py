@@ -1,0 +1,529 @@
+"""In-process job queue and worker behind the experiment service.
+
+This module is the fastapi-free core of ``repro.service``: a
+:class:`JobManager` accepts sweep specs (the same mappings
+:func:`~repro.experiments.sweep.load_sweep_file` parses), queues them,
+and a background worker thread runs each job's grid points over the
+:func:`~repro.experiments.parallel.parallel_map_outcomes` process pool
+— sharing one warm artifact cache across every job the service ever
+runs, so a re-submitted sweep is served instantly.
+
+Failure paths are first-class:
+
+* a grid point whose worker is killed outright (pool breakage) is
+  retried with exponential backoff, up to ``max_retries`` times;
+* a point that keeps failing marks the job ``partial`` — the surviving
+  rows are kept and served, never discarded with the grid;
+* a per-job wall-clock ``timeout_s`` bounds runaway grids the same
+  way (unfinished points fail, finished rows survive);
+* every job carries structured counters (done / cached / failed /
+  retries / precached) that the status endpoint streams while the
+  grid runs.
+
+The optional ``poison`` knob fails any point whose ``describe()``
+contains the given substring — a chaos hook the service smoke tests
+use to exercise the ``partial`` path end-to-end over HTTP.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import queue
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.artifacts import ArtifactStore
+from repro.experiments.parallel import (
+    TaskFailure,
+    parallel_map_outcomes,
+)
+from repro.experiments.sweep import (
+    PointTask,
+    SweepPoint,
+    SweepResult,
+    SweepRow,
+    SweepSpec,
+    _run_point,
+    _scheduled_order,
+    expand,
+    point_cache_key,
+    point_config,
+    sweep_spec_from_mapping,
+)
+
+__all__ = ["JobManager", "ExperimentJob", "JobState",
+           "records_to_csv", "JOB_ONLY_KEYS"]
+
+
+class JobState:
+    """String states of a job's lifecycle (JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"          # every grid point produced a row
+    PARTIAL = "partial"    # some points failed; surviving rows kept
+    FAILED = "failed"      # no point produced a row
+
+    TERMINAL = (DONE, PARTIAL, FAILED)
+
+
+#: Submission keys consumed by the job layer (everything else must be
+#: a sweep-spec key and is validated by ``sweep_spec_from_mapping``).
+JOB_ONLY_KEYS = ("jobs", "char_jobs", "timeout_s", "max_retries",
+                 "poison")
+
+
+@dataclass(frozen=True)
+class _ServiceTask:
+    """One grid point plus the job's chaos knob, picklable."""
+
+    task: PointTask
+    poison: Optional[str] = None
+
+    def describe(self) -> str:
+        return self.task.describe()
+
+
+def _run_service_point(service_task: _ServiceTask) -> SweepRow:
+    """Worker entry point: poison check, then the normal sweep point.
+
+    The poison check fires *before* the cache lookup so a poisoned
+    re-submission still exercises the failure path — that is the whole
+    point of the knob.
+    """
+    description = service_task.task.describe()
+    if service_task.poison and service_task.poison in description:
+        raise RuntimeError(
+            f"poisoned point (chaos knob matched "
+            f"{service_task.poison!r}): {description}")
+    return _run_point(service_task.task)
+
+
+@dataclass
+class ExperimentJob:
+    """One submitted sweep and everything known about its progress."""
+
+    job_id: str
+    spec: SweepSpec
+    points: List[SweepPoint]
+    jobs: int
+    char_jobs: int
+    max_retries: int
+    timeout_s: Optional[float]
+    poison: Optional[str] = None
+
+    state: str = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Expansion-order slots; ``None`` until the point finishes.
+    rows: List[Optional[SweepRow]] = field(default_factory=list)
+    #: Grid index -> structured failure record (terminal failures only).
+    failures: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    cached: int = 0
+    retries: int = 0
+    precached: int = 0
+    #: Job-level crash (not a per-point failure), e.g. a config bug.
+    error: Optional[str] = None
+    finished: threading.Event = field(default_factory=threading.Event,
+                                      repr=False)
+
+    @property
+    def n_done(self) -> int:
+        return sum(1 for row in self.rows if row is not None)
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-able snapshot (the ``GET /sweeps/{id}`` payload)."""
+        total = len(self.points)
+        done = self.n_done
+        failed = len(self.failures)
+        snapshot: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "experiment": self.spec.experiment,
+            "scale": self.spec.scale,
+            "grid": self.spec.describe(),
+            "points": {
+                "total": total,
+                "done": done,
+                "cached": self.cached,
+                "failed": failed,
+                "remaining": total - done - failed,
+                "precached": self.precached,
+            },
+            "counters": {
+                "retries": self.retries,
+                "max_retries": self.max_retries,
+            },
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.started_at is not None:
+            end = self.finished_at if self.finished_at is not None \
+                else time.time()
+            snapshot["duration_s"] = round(end - self.started_at, 3)
+        if self.timeout_s is not None:
+            snapshot["timeout_s"] = self.timeout_s
+        if self.failures:
+            snapshot["failures"] = [self.failures[index]
+                                    for index in sorted(self.failures)]
+        if self.error is not None:
+            snapshot["error"] = self.error
+        return snapshot
+
+    def sweep_result(self) -> SweepResult:
+        """The surviving rows as a normal :class:`SweepResult`."""
+        return SweepResult(sweep=self.spec,
+                           rows=[row for row in self.rows
+                                 if row is not None])
+
+
+def records_to_csv(records: Sequence[Mapping[str, Any]]) -> str:
+    """Tidy/aggregated records as CSV text (union of all columns)."""
+    columns: List[str] = []
+    for record in records:
+        for name in record:
+            if name not in columns:
+                columns.append(name)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+class JobManager:
+    """Queue + worker thread turning sweep specs into finished grids.
+
+    Args:
+        cache_dir: Artifact-store location every job (and each job's
+            pool workers) shares — a directory path or a registered
+            ``scheme://...`` URL (see
+            :func:`repro.core.artifacts.register_storage_scheme`).
+            ``None`` creates a service-lifetime temporary directory,
+            so even then jobs share one warm cache.
+        jobs: Default process count per job's grid (``1`` = inline in
+            the worker thread; ``0`` = all cores).
+        char_jobs: Default per-point characterization sharding.
+        max_retries: Default bounded retries for points lost to pool
+            breakage (a killed worker), with exponential backoff.
+        retry_backoff_s: First backoff delay; doubles per retry wave.
+        timeout_s: Default per-job wall-clock budget (``None`` = no
+            limit); unfinished points fail, finished rows survive.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
+                 char_jobs: int = 1, max_retries: int = 2,
+                 retry_backoff_s: float = 0.5,
+                 timeout_s: Optional[float] = None) -> None:
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if cache_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-service-cache-")
+            cache_dir = self._tempdir.name
+        self.cache_dir = str(cache_dir)
+        self.default_jobs = jobs
+        self.default_char_jobs = char_jobs
+        self.default_max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.default_timeout_s = timeout_s
+        self.started_at = time.time()
+
+        # Reclaim tmp litter a previously killed service left behind.
+        self.stale_tmp_swept = ArtifactStore(
+            self.cache_dir).sweep_stale_tmp()
+
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, ExperimentJob] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stats = {
+            "jobs_submitted": 0, "jobs_done": 0, "jobs_partial": 0,
+            "jobs_failed": 0, "points_done": 0, "points_cached": 0,
+            "points_failed": 0, "point_retries": 0,
+        }
+        self._closed = False
+        self._worker = threading.Thread(target=self._worker_loop,
+                                        name="repro-service-worker",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_mapping(self, data: Mapping[str, Any]) -> Dict[str, Any]:
+        """Submit a job from a request body / spec-file mapping.
+
+        Job-level knobs (:data:`JOB_ONLY_KEYS`) are split off; the
+        rest must be a valid sweep spec — unknown keys raise
+        ``ValueError`` exactly like :func:`load_sweep_file`.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError("request body must be a JSON/TOML object")
+        knobs = {key: data[key] for key in JOB_ONLY_KEYS if key in data}
+        spec_keys = {key: value for key, value in data.items()
+                     if key not in knobs}
+        spec = sweep_spec_from_mapping(spec_keys,
+                                       source="submitted sweep spec")
+        if knobs.get("timeout_s") is not None:
+            knobs["timeout_s"] = float(knobs["timeout_s"])
+            if knobs["timeout_s"] <= 0:
+                raise ValueError("timeout_s must be positive")
+        for key in ("jobs", "char_jobs", "max_retries"):
+            if key in knobs:
+                knobs[key] = int(knobs[key])
+        if knobs.get("max_retries", 0) < 0:
+            raise ValueError("max_retries must be >= 0")
+        poison = knobs.get("poison")
+        if poison is not None and not isinstance(poison, str):
+            raise ValueError("poison must be a string (substring of a "
+                             "point description)")
+        return self.submit_spec(spec, **knobs)
+
+    def submit_spec(self, spec: SweepSpec,
+                    jobs: Optional[int] = None,
+                    char_jobs: Optional[int] = None,
+                    max_retries: Optional[int] = None,
+                    timeout_s: Optional[float] = None,
+                    poison: Optional[str] = None) -> Dict[str, Any]:
+        """Queue a normalized sweep; returns the initial status."""
+        if self._closed:
+            raise RuntimeError("job manager is shut down")
+        points = expand(spec)
+        job = ExperimentJob(
+            job_id=uuid.uuid4().hex[:12],
+            spec=spec,
+            points=points,
+            jobs=self.default_jobs if jobs is None else jobs,
+            char_jobs=(self.default_char_jobs if char_jobs is None
+                       else char_jobs),
+            max_retries=(self.default_max_retries if max_retries is None
+                         else max_retries),
+            timeout_s=(self.default_timeout_s if timeout_s is None
+                       else timeout_s),
+            poison=poison,
+        )
+        job.rows = [None] * len(points)
+        with self._lock:
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._stats["jobs_submitted"] += 1
+        self._queue.put(job.job_id)
+        return job.status()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[ExperimentJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        job = self.get(job_id)
+        if job is None:
+            return None
+        with self._lock:
+            return job.status()
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Newest-first summaries of every job the service has seen."""
+        with self._lock:
+            return [self._jobs[job_id].status()
+                    for job_id in reversed(self._order)]
+
+    def result(self, job_id: str,
+               aggregated: bool = False) -> Optional[Dict[str, Any]]:
+        """Tidy rows of a *terminal* job (plus seed aggregates).
+
+        ``None`` for an unknown id; a job still queued/running returns
+        a dict whose only keys are ``state`` and ``job_id`` — the HTTP
+        layer maps that to 409.
+        """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        with self._lock:
+            if job.state not in JobState.TERMINAL:
+                return {"job_id": job.job_id, "state": job.state}
+            result = job.sweep_result()
+            payload: Dict[str, Any] = {
+                "job_id": job.job_id,
+                "state": job.state,
+                "n_rows": len(result.rows),
+                "n_failed": len(job.failures),
+                "rows": result.tidy(),
+            }
+            if aggregated:
+                payload["aggregated"] = result.tidy_aggregated()
+            if job.failures:
+                payload["failures"] = [job.failures[index]
+                                       for index in sorted(job.failures)]
+            return payload
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> bool:
+        """Block until ``job_id`` reaches a terminal state."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return job.finished.wait(timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters for ``GET /healthz``."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            return {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "cache_dir": self.cache_dir,
+                "stale_tmp_swept": self.stale_tmp_swept,
+                "jobs": dict(by_state),
+                "counters": dict(self._stats),
+            }
+
+    # ------------------------------------------------------------------
+    # the worker
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self.get(job_id)
+            if job is None:  # pragma: no cover - defensive
+                continue
+            try:
+                self._run_job(job)
+            except Exception as error:
+                # A job-level crash must never kill the worker thread;
+                # the job reports it and the queue moves on.
+                with self._lock:
+                    job.error = f"{type(error).__name__}: {error}"
+                    self._finalize(job)
+
+    def _record_row(self, job: ExperimentJob, index: int,
+                    row: SweepRow) -> None:
+        with self._lock:
+            if job.rows[index] is not None:
+                return
+            job.rows[index] = row
+            job.failures.pop(index, None)
+            self._stats["points_done"] += 1
+            if row.cached:
+                job.cached += 1
+                self._stats["points_cached"] += 1
+
+    def _record_failure(self, job: ExperimentJob, index: int,
+                        failure: TaskFailure, attempts: int) -> None:
+        with self._lock:
+            if job.rows[index] is not None:
+                return
+            job.failures[index] = {
+                "point": job.points[index].describe(),
+                "kind": failure.kind,
+                "attempts": attempts,
+                "error": (f"{type(failure.error).__name__}: "
+                          f"{failure.error}"
+                          if failure.error is not None
+                          else failure.summary()),
+            }
+            self._stats["points_failed"] += 1
+
+    def _run_job(self, job: ExperimentJob) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+
+        # How much of the grid the warm cache can already serve — the
+        # number that makes "re-submission is instant" observable.
+        probe = ArtifactStore(self.cache_dir)
+        precached = sum(
+            1 for point in job.points
+            if point_cache_key(point,
+                               point_config(point, job.char_jobs))
+            in probe)
+        with self._lock:
+            job.precached = precached
+
+        deadline = (None if job.timeout_s is None
+                    else time.monotonic() + job.timeout_s)
+        pending = list(_scheduled_order(job.points))
+        attempt = 0
+        while pending:
+            wave = list(pending)
+            tasks = [
+                _ServiceTask(
+                    PointTask(job.points[index], self.cache_dir,
+                              job.char_jobs, False),
+                    poison=job.poison)
+                for index in wave
+            ]
+            timeout = (None if deadline is None
+                       else max(0.0, deadline - time.monotonic()))
+            outcomes = parallel_map_outcomes(
+                _run_service_point, tasks, jobs=job.jobs,
+                on_result=lambda slot, row, wave=wave:
+                    self._record_row(job, wave[slot], row),
+                timeout=timeout)
+            retriable: List[int] = []
+            for slot, outcome in enumerate(outcomes):
+                index = wave[slot]
+                if outcome.ok:
+                    self._record_row(job, index, outcome.value)
+                    continue
+                failure = outcome.failure
+                out_of_time = (deadline is not None
+                               and time.monotonic() >= deadline)
+                if failure.retriable and attempt < job.max_retries \
+                        and not out_of_time:
+                    retriable.append(index)
+                else:
+                    self._record_failure(job, index, failure,
+                                         attempts=attempt + 1)
+            if not retriable:
+                break
+            attempt += 1
+            with self._lock:
+                job.retries += len(retriable)
+                self._stats["point_retries"] += len(retriable)
+            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            if delay > 0:
+                time.sleep(min(delay, 30.0))
+            pending = retriable
+
+        with self._lock:
+            self._finalize(job)
+
+    def _finalize(self, job: ExperimentJob) -> None:
+        """Terminal-state bookkeeping; caller holds the lock."""
+        if job.error is not None or job.n_done == 0:
+            job.state = JobState.FAILED
+            self._stats["jobs_failed"] += 1
+        elif job.failures:
+            job.state = JobState.PARTIAL
+            self._stats["jobs_partial"] += 1
+        else:
+            job.state = JobState.DONE
+            self._stats["jobs_done"] += 1
+        job.finished_at = time.time()
+        job.finished.set()
+
+    def shutdown(self, wait: bool = True,
+                 timeout: Optional[float] = 30.0) -> None:
+        """Stop the worker (after the current job) and clean up."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        if wait:
+            self._worker.join(timeout)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

@@ -1,0 +1,201 @@
+"""Regression tests for the parallel failure paths.
+
+Three bugs these pin down:
+
+* a worker killed by the OS (``os._exit`` / OOM) used to surface a
+  bare ``BrokenProcessPool`` with no task name — now every in-flight
+  task is named and the original exception is chained;
+* ``parallel_map`` used to drain the *entire* pool before surfacing
+  the first failure — now not-yet-started siblings are cancelled
+  (fail-fast) while the deterministic first-submission-first error
+  choice is kept for outcomes that did complete;
+* the service-facing :func:`parallel_map_outcomes` must never raise
+  per-task: failures resolve to outcomes, pool losses are flagged
+  retriable, and a batch timeout fails only the unfinished items.
+"""
+
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelTaskError,
+    TaskFailure,
+    TaskOutcome,
+    parallel_map,
+    parallel_map_outcomes,
+)
+
+
+@dataclass(frozen=True)
+class KillerTask:
+    """Work item that can kill its worker outright (no traceback)."""
+
+    name: str
+    kill: bool = False
+
+    def describe(self) -> str:
+        return f"killer task {self.name}"
+
+
+def _maybe_die(task: KillerTask) -> str:
+    if task.kill:
+        os._exit(1)  # simulates the OOM killer: no exception, no exit
+    time.sleep(0.05)
+    return task.name
+
+
+@dataclass(frozen=True)
+class SentinelTask:
+    """Work item that records on disk that it actually ran."""
+
+    name: str
+    root: str
+    delay: float = 0.0
+    fail: bool = False
+
+    def describe(self) -> str:
+        return f"sentinel task {self.name}"
+
+
+def _run_sentinel(task: SentinelTask) -> str:
+    if task.fail:
+        raise ValueError(f"deliberate failure in {task.name}")
+    time.sleep(task.delay)
+    with open(os.path.join(task.root, task.name), "w") as handle:
+        handle.write(task.name)
+    return task.name
+
+
+def _slow_ok(task: KillerTask) -> str:
+    time.sleep(5.0)
+    return task.name
+
+
+class TestBrokenPoolNaming:
+    """A killed worker must name the in-flight task(s), not surface a
+    bare BrokenProcessPool (regression)."""
+
+    def test_os_exit_worker_names_tasks_and_chains_cause(self):
+        tasks = [KillerTask("a"), KillerTask("boom", kill=True),
+                 KillerTask("b")]
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_maybe_die, tasks, jobs=2)
+        message = str(excinfo.value)
+        assert "process pool broke" in message
+        assert "killer task boom" in message
+        assert isinstance(excinfo.value.__cause__, BrokenProcessPool)
+
+    def test_outcomes_flag_pool_losses_retriable(self):
+        tasks = [KillerTask("a"), KillerTask("boom", kill=True),
+                 KillerTask("b"), KillerTask("c")]
+        outcomes = parallel_map_outcomes(_maybe_die, tasks, jobs=2)
+        assert len(outcomes) == 4
+        assert all(isinstance(o, TaskOutcome) for o in outcomes)
+        lost = [o for o in outcomes if not o.ok]
+        assert lost, "the killed worker must surface failures"
+        for outcome in lost:
+            assert outcome.failure.kind == "pool"
+            assert outcome.failure.retriable
+            assert "killer task" in outcome.failure.description
+
+
+class TestFailFast:
+    def test_not_yet_started_tasks_are_cancelled(self, tmp_path):
+        """One early failure must not drain the whole grid first."""
+        tasks = [SentinelTask("fail", str(tmp_path), fail=True)]
+        tasks += [SentinelTask(f"t{i}", str(tmp_path), delay=0.5)
+                  for i in range(7)]
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_run_sentinel, tasks, jobs=2)
+        assert "sentinel task fail" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        # With 2 workers and an immediate failure, the tail of the
+        # grid must have been cancelled: well under all 7 survivors
+        # can have run (2 in flight + the executor's small prefetch).
+        ran = [p for p in tmp_path.iterdir() if p.name.startswith("t")]
+        assert len(ran) <= 5, [p.name for p in ran]
+
+    def test_first_submitted_failure_wins_deterministically(
+            self, tmp_path):
+        """Among completed outcomes the error choice stays stable."""
+        tasks = [SentinelTask("fail-0", str(tmp_path), fail=True),
+                 SentinelTask("fail-1", str(tmp_path), fail=True),
+                 SentinelTask("fail-2", str(tmp_path), fail=True)]
+        for __ in range(3):
+            with pytest.raises(ParallelTaskError) as excinfo:
+                parallel_map(_run_sentinel, tasks, jobs=2)
+            assert "sentinel task fail-0" in str(excinfo.value)
+
+    def test_all_successes_keep_order_and_results(self, tmp_path):
+        tasks = [SentinelTask(f"t{i}", str(tmp_path)) for i in range(6)]
+        assert parallel_map(_run_sentinel, tasks, jobs=3) == [
+            f"t{i}" for i in range(6)]
+
+
+class TestOutcomes:
+    def test_mixed_success_and_failure(self, tmp_path):
+        tasks = [SentinelTask("ok-1", str(tmp_path)),
+                 SentinelTask("bad", str(tmp_path), fail=True),
+                 SentinelTask("ok-2", str(tmp_path))]
+        outcomes = parallel_map_outcomes(_run_sentinel, tasks, jobs=2)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == "ok-1"
+        assert outcomes[2].value == "ok-2"
+        failure = outcomes[1].failure
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "error"
+        assert not failure.retriable
+        assert "deliberate failure" in failure.worker_traceback
+
+    def test_inline_outcomes_carry_failures(self, tmp_path):
+        tasks = [SentinelTask("ok", str(tmp_path)),
+                 SentinelTask("bad", str(tmp_path), fail=True)]
+        outcomes = parallel_map_outcomes(_run_sentinel, tasks, jobs=1)
+        assert outcomes[0].ok and outcomes[0].value == "ok"
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].failure.error, ValueError)
+
+    def test_inline_on_result_streams_successes_only(self, tmp_path):
+        seen = []
+        tasks = [SentinelTask("ok", str(tmp_path)),
+                 SentinelTask("bad", str(tmp_path), fail=True)]
+        parallel_map_outcomes(_run_sentinel, tasks, jobs=1,
+                              on_result=lambda i, r: seen.append(i))
+        assert seen == [0]
+
+    def test_batch_timeout_fails_unfinished_items(self):
+        tasks = [KillerTask(f"t{i}") for i in range(3)]
+        start = time.monotonic()
+        outcomes = parallel_map_outcomes(_slow_ok, tasks, jobs=2,
+                                         timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert elapsed < 3.0  # must not wait out the 5 s sleeps
+        assert all(not o.ok for o in outcomes)
+        assert {o.failure.kind for o in outcomes} == {"timeout"}
+        assert all(not o.failure.retriable for o in outcomes)
+
+    def test_inline_timeout_checks_deadline_between_items(self):
+        def slow(task):
+            time.sleep(0.2)
+            return task.name
+
+        tasks = [KillerTask(f"t{i}") for i in range(3)]
+        outcomes = parallel_map_outcomes(slow, tasks, jobs=1,
+                                         timeout=0.1)
+        assert outcomes[0].ok  # the running item finishes
+        assert not outcomes[1].ok and not outcomes[2].ok
+        assert outcomes[1].failure.kind == "timeout"
+
+    def test_empty_items(self):
+        assert parallel_map_outcomes(_slow_ok, [], jobs=4) == []
+
+    def test_failure_summary_text(self):
+        failure = TaskFailure(index=3, description="point x",
+                              kind="pool", retriable=True)
+        assert "point x" in failure.summary()
+        assert "pool" in failure.summary() or "killed" \
+            in failure.summary()

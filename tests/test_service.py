@@ -1,0 +1,414 @@
+"""Experiment-service tests: job lifecycle, failure paths, HTTP layer.
+
+The :class:`~repro.service.jobs.JobManager` tests run everywhere (the
+job layer is dependency-free); the HTTP tests skip cleanly when the
+optional ``service`` extra (fastapi) or its test client transport
+(httpx) is absent — mirroring the no-numba leg of the jit extra.
+
+Pool-breakage tests rely on the ``fork`` start method: the forked
+workers inherit the monkeypatched synthetic point runner and the
+module-level sentinel path, so no real pipeline work runs.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments import sweep as sweep_mod
+from repro.service import JobManager, JobState, records_to_csv
+from repro.service.jobs import JOB_ONLY_KEYS
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+#: Sentinel path the crash-once runner uses (inherited by forked
+#: pool workers); reset per-test via the fixtures below.
+_CRASH_SENTINEL = [None]
+
+
+def _echo_runner(point, context):
+    """Synthetic per-point runner: no pipeline work, tiny payload."""
+    value = (point.threshold or 0.0) + point.seed
+    return {"payload": {"value": value},
+            "metrics": {"accuracy": value, "n_weights": 1,
+                        "power_opt_mw": value},
+            "skipped": None}
+
+
+def _slow_runner(point, context):
+    time.sleep(0.25)
+    return _echo_runner(point, context)
+
+
+def _crash_once_runner(point, context):
+    """Kills its worker the first time the 900-threshold point runs."""
+    if point.threshold == 900.0:
+        time.sleep(0.2)  # let the sibling point finish first
+        if not os.path.exists(_CRASH_SENTINEL[0]):
+            open(_CRASH_SENTINEL[0], "w").close()
+            os._exit(1)
+    return _echo_runner(point, context)
+
+
+def _crash_always_runner(point, context):
+    """Kills its worker every time the 900-threshold point runs."""
+    if point.threshold == 900.0:
+        time.sleep(0.2)
+        os._exit(1)
+    return _echo_runner(point, context)
+
+
+SPEC = {"experiment": "fig8", "scale": "smoke",
+        "thresholds": [None, 900.0]}
+
+
+@pytest.fixture()
+def echo_experiment(monkeypatch):
+    monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8", _echo_runner)
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    mgr = JobManager(cache_dir=str(tmp_path / "cache"),
+                     retry_backoff_s=0.01)
+    yield mgr
+    mgr.shutdown()
+
+
+def _finish(mgr, status, timeout=60.0):
+    assert mgr.wait(status["job_id"], timeout=timeout), \
+        "job did not reach a terminal state in time"
+    return mgr.status(status["job_id"])
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, manager, echo_experiment):
+        submitted = manager.submit_mapping(SPEC)
+        assert submitted["state"] in (JobState.QUEUED, JobState.RUNNING,
+                                      JobState.DONE)
+        status = _finish(manager, submitted)
+        assert status["state"] == JobState.DONE
+        assert status["points"] == {"total": 2, "done": 2, "cached": 0,
+                                    "failed": 0, "remaining": 0,
+                                    "precached": 0}
+        assert status["duration_s"] >= 0
+        result = manager.result(status["job_id"])
+        assert result["n_rows"] == 2 and result["n_failed"] == 0
+        assert {row["threshold"] for row in result["rows"]} \
+            == {None, 900.0}
+
+    def test_resubmission_is_served_from_cache(self, manager,
+                                               echo_experiment):
+        _finish(manager, manager.submit_mapping(SPEC))
+        status = _finish(manager, manager.submit_mapping(SPEC))
+        assert status["state"] == JobState.DONE
+        assert status["points"]["precached"] == 2
+        assert status["points"]["cached"] == 2
+
+    def test_aggregated_result(self, manager, echo_experiment):
+        spec = dict(SPEC, seeds=[0, 1])
+        status = _finish(manager, manager.submit_mapping(spec))
+        result = manager.result(status["job_id"], aggregated=True)
+        assert result["n_rows"] == 4
+        assert len(result["aggregated"]) == 2  # seed axis collapsed
+
+    def test_list_jobs_and_stats(self, manager, echo_experiment):
+        first = _finish(manager, manager.submit_mapping(SPEC))
+        second = _finish(manager, manager.submit_mapping(SPEC))
+        listed = manager.list_jobs()
+        assert [job["job_id"] for job in listed] \
+            == [second["job_id"], first["job_id"]]  # newest first
+        stats = manager.stats()
+        assert stats["counters"]["jobs_submitted"] == 2
+        assert stats["counters"]["jobs_done"] == 2
+        assert stats["counters"]["points_cached"] == 2
+        assert stats["jobs"] == {JobState.DONE: 2}
+
+    def test_unknown_job_id(self, manager):
+        assert manager.status("nope") is None
+        assert manager.result("nope") is None
+        with pytest.raises(KeyError):
+            manager.wait("nope", timeout=0.1)
+
+    def test_submit_after_shutdown_is_rejected(self, tmp_path,
+                                               echo_experiment):
+        mgr = JobManager(cache_dir=str(tmp_path))
+        mgr.shutdown()
+        mgr.shutdown()  # idempotent
+        with pytest.raises(RuntimeError, match="shut down"):
+            mgr.submit_mapping(SPEC)
+
+    def test_startup_sweeps_stale_tmp_litter(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        litter = cache / ".0123456789abcdef-dead1"
+        litter.write_bytes(b"half-written")
+        old = time.time() - 7200
+        os.utime(litter, (old, old))
+        mgr = JobManager(cache_dir=str(cache))
+        try:
+            assert mgr.stale_tmp_swept == 1
+            assert not litter.exists()
+        finally:
+            mgr.shutdown()
+
+
+class TestValidation:
+    def test_unknown_spec_key_is_rejected(self, manager):
+        with pytest.raises(ValueError, match="unknown"):
+            manager.submit_mapping(dict(SPEC, typo_key=1))
+
+    def test_job_knobs_are_split_off_the_spec(self, manager,
+                                              echo_experiment):
+        body = dict(SPEC, jobs=1, char_jobs=1, max_retries=0,
+                    timeout_s=60)
+        assert set(JOB_ONLY_KEYS) >= {"jobs", "char_jobs",
+                                      "max_retries", "timeout_s",
+                                      "poison"}
+        status = _finish(manager, manager.submit_mapping(body))
+        assert status["state"] == JobState.DONE
+        assert status["timeout_s"] == 60.0
+        assert status["counters"]["max_retries"] == 0
+
+    def test_bad_knobs_are_rejected(self, manager):
+        with pytest.raises(ValueError, match="timeout_s"):
+            manager.submit_mapping(dict(SPEC, timeout_s=0))
+        with pytest.raises(ValueError, match="max_retries"):
+            manager.submit_mapping(dict(SPEC, max_retries=-1))
+        with pytest.raises(ValueError, match="poison"):
+            manager.submit_mapping(dict(SPEC, poison=123))
+        with pytest.raises(ValueError, match="object"):
+            manager.submit_mapping(["not", "a", "mapping"])
+
+    def test_missing_experiment_is_rejected(self, manager):
+        with pytest.raises(ValueError, match="experiment"):
+            manager.submit_mapping({"scale": "smoke"})
+
+
+class TestFailurePaths:
+    def test_poisoned_point_marks_job_partial(self, manager,
+                                              echo_experiment):
+        body = dict(SPEC, poison="threshold=900")
+        status = _finish(manager, manager.submit_mapping(body))
+        assert status["state"] == JobState.PARTIAL
+        assert status["points"]["done"] == 1
+        assert status["points"]["failed"] == 1
+        (failure,) = status["failures"]
+        assert "threshold=900" in failure["point"]
+        assert failure["kind"] == "error"
+        assert "poisoned point" in failure["error"]
+        result = manager.result(status["job_id"])
+        assert result["n_rows"] == 1 and result["n_failed"] == 1
+
+    def test_poison_fires_before_the_cache(self, manager,
+                                           echo_experiment):
+        """A poisoned re-submission must still fail, even precached."""
+        _finish(manager, manager.submit_mapping(SPEC))
+        body = dict(SPEC, poison="threshold=900")
+        status = _finish(manager, manager.submit_mapping(body))
+        assert status["points"]["precached"] == 2
+        assert status["state"] == JobState.PARTIAL
+
+    def test_everything_poisoned_marks_job_failed(self, manager,
+                                                  echo_experiment):
+        body = dict(SPEC, poison="fig8 point")
+        status = _finish(manager, manager.submit_mapping(body))
+        assert status["state"] == JobState.FAILED
+        assert status["points"]["done"] == 0
+        assert manager.result(status["job_id"])["n_rows"] == 0
+        health = manager.stats()
+        assert health["counters"]["jobs_failed"] == 1
+
+    def test_job_timeout_keeps_finished_rows(self, manager,
+                                             monkeypatch):
+        monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8",
+                            _slow_runner)
+        body = dict(SPEC, thresholds=[None, 900.0, 1800.0],
+                    timeout_s=0.35)
+        status = _finish(manager, manager.submit_mapping(body))
+        assert status["state"] in (JobState.PARTIAL, JobState.FAILED)
+        assert status["points"]["failed"] >= 1
+        kinds = {failure["kind"] for failure in status["failures"]}
+        assert kinds == {"timeout"}
+
+    @pytest.mark.skipif(not _FORK, reason="needs fork start method")
+    def test_pool_breakage_is_retried_and_recovers(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8",
+                            _crash_once_runner)
+        _CRASH_SENTINEL[0] = str(tmp_path / "crashed-once")
+        mgr = JobManager(cache_dir=str(tmp_path / "cache"),
+                         retry_backoff_s=0.01)
+        try:
+            body = dict(SPEC, jobs=2, max_retries=2)
+            status = _finish(mgr, mgr.submit_mapping(body))
+            assert status["state"] == JobState.DONE
+            assert status["points"]["done"] == 2
+            assert status["counters"]["retries"] >= 1
+            assert mgr.stats()["counters"]["point_retries"] >= 1
+        finally:
+            mgr.shutdown()
+
+    @pytest.mark.skipif(not _FORK, reason="needs fork start method")
+    def test_retries_exhausted_marks_job_partial(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8",
+                            _crash_always_runner)
+        mgr = JobManager(cache_dir=str(tmp_path / "cache"),
+                         retry_backoff_s=0.01)
+        try:
+            body = dict(SPEC, jobs=2, max_retries=1)
+            status = _finish(mgr, mgr.submit_mapping(body))
+            assert status["state"] == JobState.PARTIAL
+            assert status["points"]["done"] == 1
+            (failure,) = status["failures"]
+            assert failure["kind"] == "pool"
+            assert failure["attempts"] == 2  # first try + one retry
+            assert status["counters"]["retries"] >= 1
+        finally:
+            mgr.shutdown()
+
+
+class TestCsv:
+    def test_union_of_columns(self):
+        text = records_to_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2,"
+        assert lines[2] == "3,,4"
+
+    def test_empty_records(self):
+        assert records_to_csv([]).strip() == ""
+
+
+class TestWithoutFastapi:
+    def test_import_repro_service_needs_no_fastapi(self):
+        import repro.service  # noqa: F401 - the import IS the test
+
+    def test_create_app_raises_with_install_hint(self):
+        from repro.service import create_app, fastapi_available
+        if fastapi_available():
+            pytest.skip("fastapi installed; the hint path is moot")
+        with pytest.raises(RuntimeError, match=r"\[service\]"):
+            create_app()
+
+    def test_serve_cli_errors_with_install_hint(self, capsys):
+        from repro.service import fastapi_available
+        from repro.service.cli import serve_main
+        if fastapi_available():
+            pytest.skip("fastapi installed; the hint path is moot")
+        with pytest.raises(SystemExit):
+            serve_main(["--port", "0"])
+        assert "pip install" in capsys.readouterr().err
+
+
+class TestHttpLayer:
+    """End-to-end over ASGI; skips cleanly without the service extra."""
+
+    @pytest.fixture()
+    def client(self, tmp_path, echo_experiment):
+        pytest.importorskip("fastapi")
+        try:
+            from fastapi.testclient import TestClient
+        except ImportError:  # TestClient needs httpx
+            pytest.skip("fastapi TestClient transport (httpx) missing")
+        from repro.service.app import create_app
+
+        app = create_app(cache_dir=str(tmp_path / "cache"),
+                         retry_backoff_s=0.01)
+        with TestClient(app) as client:
+            yield client
+
+    def _poll(self, client, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = client.get(f"/sweeps/{job_id}").json()
+            if status["state"] in JobState.TERMINAL:
+                return status
+            time.sleep(0.05)
+        raise AssertionError("job never reached a terminal state")
+
+    def test_healthz(self, client):
+        payload = client.get("/healthz").json()
+        assert payload["status"] == "ok"
+        assert "counters" in payload
+
+    def test_submit_poll_result_roundtrip(self, client):
+        response = client.post("/sweeps", json=SPEC)
+        assert response.status_code == 202
+        submitted = response.json()
+        assert submitted["status_url"].endswith(submitted["job_id"])
+        status = self._poll(client, submitted["job_id"])
+        assert status["state"] == "done"
+        result = client.get(f"/sweeps/{submitted['job_id']}/result")
+        assert result.status_code == 200
+        assert result.json()["n_rows"] == 2
+
+    def test_resubmission_precached_over_http(self, client):
+        first = client.post("/sweeps", json=SPEC).json()
+        self._poll(client, first["job_id"])
+        second = client.post("/sweeps", json=SPEC).json()
+        status = self._poll(client, second["job_id"])
+        assert status["points"]["precached"] == 2
+        assert status["points"]["cached"] == 2
+
+    def test_poisoned_job_is_partial_over_http(self, client):
+        body = dict(SPEC, poison="threshold=900")
+        submitted = client.post("/sweeps", json=body).json()
+        status = self._poll(client, submitted["job_id"])
+        assert status["state"] == "partial"
+        result = client.get(
+            f"/sweeps/{submitted['job_id']}/result").json()
+        assert result["n_rows"] == 1
+        assert result["failures"]
+
+    def test_toml_submission(self, client):
+        pytest.importorskip("tomllib")
+        body = ('experiment = "fig8"\nscale = "smoke"\n'
+                'thresholds = ["none", 900.0]\n')
+        response = client.post(
+            "/sweeps", content=body,
+            headers={"content-type": "application/toml"})
+        assert response.status_code == 202
+        status = self._poll(client, response.json()["job_id"])
+        assert status["points"]["total"] == 2
+
+    def test_csv_result(self, client):
+        submitted = client.post("/sweeps", json=SPEC).json()
+        self._poll(client, submitted["job_id"])
+        response = client.get(
+            f"/sweeps/{submitted['job_id']}/result?format=csv")
+        assert response.status_code == 200
+        assert response.headers["content-type"].startswith("text/csv")
+        assert "threshold" in response.text.splitlines()[0]
+
+    def test_error_statuses(self, client):
+        assert client.get("/sweeps/nope").status_code == 404
+        assert client.get("/sweeps/nope/result").status_code == 404
+        bad = client.post("/sweeps", json=dict(SPEC, typo=1))
+        assert bad.status_code == 422
+        garbage = client.post(
+            "/sweeps", content="{not json",
+            headers={"content-type": "application/json"})
+        assert garbage.status_code == 422
+
+    def test_result_conflict_while_running(self, client, monkeypatch):
+        monkeypatch.setitem(sweep_mod._POINT_RUNNERS, "fig8",
+                            _slow_runner)
+        submitted = client.post("/sweeps", json=SPEC).json()
+        response = client.get(
+            f"/sweeps/{submitted['job_id']}/result")
+        if response.status_code == 200:  # raced to completion
+            pytest.skip("job finished before the conflict probe")
+        assert response.status_code == 409
+        self._poll(client, submitted["job_id"])
+
+    def test_list_endpoint(self, client):
+        submitted = client.post("/sweeps", json=SPEC).json()
+        self._poll(client, submitted["job_id"])
+        listed = client.get("/sweeps").json()
+        assert listed["n_jobs"] >= 1
+        assert any(job["job_id"] == submitted["job_id"]
+                   for job in listed["jobs"])
