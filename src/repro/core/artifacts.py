@@ -33,18 +33,22 @@ import hashlib
 import json
 import os
 import pickle
+import random
 import re
 import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Union
+from urllib.parse import parse_qs
 
 import numpy as np
 
 __all__ = [
     "ArtifactStore",
+    "ChaosStorage",
     "LocalDirStorage",
     "StorageBackend",
+    "StorageFault",
     "hash_key",
     "register_storage_scheme",
     "storage_from_url",
@@ -245,6 +249,130 @@ def _file_storage(url: str) -> StorageBackend:
 register_storage_scheme("file", _file_storage)
 
 
+class StorageFault(OSError):
+    """An injected storage fault (raised only by :class:`ChaosStorage`).
+
+    Deliberately *not* a ``KeyError``: the store must treat it as an
+    unreliable backend, not as a clean miss.
+    """
+
+
+class ChaosStorage(StorageBackend):
+    """Fault-injecting decorator around any :class:`StorageBackend`.
+
+    The harness the durability tests and the CI chaos smoke run the
+    service under: reads and writes fail with configurable
+    probabilities, and reads can return *corrupted* (truncated) bytes
+    so the store's corrupt-eviction path fires on a live backend.  A
+    seeded RNG makes every drill reproducible.
+
+    Args:
+        inner: The real backend taking the traffic.
+        read_fault_rate: Probability a ``read`` raises
+            :class:`StorageFault` instead of delegating.
+        write_fault_rate: Probability a ``write`` raises after
+            *not* touching the inner backend.
+        corrupt_rate: Probability a successful ``read``'s bytes come
+            back truncated (simulating a torn write surviving on disk).
+        seed: RNG seed; ``None`` draws a nondeterministic one.
+    """
+
+    scheme = "chaos"
+
+    def __init__(self, inner: StorageBackend,
+                 read_fault_rate: float = 0.0,
+                 write_fault_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        for name, rate in (("read_fault_rate", read_fault_rate),
+                           ("write_fault_rate", write_fault_rate),
+                           ("corrupt_rate", corrupt_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], "
+                                 f"got {rate!r}")
+        self.inner = inner
+        self.read_fault_rate = read_fault_rate
+        self.write_fault_rate = write_fault_rate
+        self.corrupt_rate = corrupt_rate
+        self._rng = random.Random(seed)
+        self.injected_read_faults = 0
+        self.injected_write_faults = 0
+        self.injected_corruptions = 0
+
+    @property
+    def root(self):
+        """The inner backend's local root, if it has one — so path
+        resolution (e.g. the service's job-store location) still
+        works through the chaos wrapper."""
+        return getattr(self.inner, "root", None)
+
+    def read(self, key: str) -> bytes:
+        if self._rng.random() < self.read_fault_rate:
+            self.injected_read_faults += 1
+            raise StorageFault(f"injected read fault for {key!r}")
+        data = self.inner.read(key)
+        if self.corrupt_rate and self._rng.random() < self.corrupt_rate:
+            self.injected_corruptions += 1
+            return data[:max(1, len(data) // 2)]
+        return data
+
+    def write(self, key: str, data: bytes) -> None:
+        if self._rng.random() < self.write_fault_rate:
+            self.injected_write_faults += 1
+            raise StorageFault(f"injected write fault for {key!r}")
+        self.inner.write(key, data)
+
+    def contains(self, key: str) -> bool:
+        return self.inner.contains(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_MAX_AGE_S,
+                        prefix: Optional[str] = None) -> int:
+        return self.inner.sweep_stale_tmp(max_age_s, prefix)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "injected_read_faults": self.injected_read_faults,
+            "injected_write_faults": self.injected_write_faults,
+            "injected_corruptions": self.injected_corruptions,
+        }
+
+    def describe(self) -> str:
+        return (f"chaos(read={self.read_fault_rate}, "
+                f"write={self.write_fault_rate}, "
+                f"corrupt={self.corrupt_rate}) over "
+                f"{self.inner.describe()}")
+
+
+def _chaos_storage(url: str) -> StorageBackend:
+    """``chaos://<dir>?read=&write=&corrupt=&seed=`` fault injection.
+
+    The path component is the local directory of the wrapped
+    :class:`LocalDirStorage`; query parameters set the fault rates.
+    Example: ``chaos:///tmp/cache?read=0.1&corrupt=0.05&seed=7``.
+    """
+    rest = url[len("chaos://"):]
+    path, _, query = rest.partition("?")
+    if not path:
+        raise ValueError(f"chaos:// URL needs a directory path: {url!r}")
+    params = parse_qs(query, keep_blank_values=False)
+
+    def _rate(name: str) -> float:
+        return float(params[name][0]) if name in params else 0.0
+
+    seed = int(params["seed"][0]) if "seed" in params else None
+    return ChaosStorage(LocalDirStorage(path),
+                        read_fault_rate=_rate("read"),
+                        write_fault_rate=_rate("write"),
+                        corrupt_rate=_rate("corrupt"),
+                        seed=seed)
+
+
+register_storage_scheme("chaos", _chaos_storage)
+
+
 def storage_from_url(location: Union[str, Path]) -> StorageBackend:
     """A :class:`StorageBackend` from a path or ``scheme://...`` URL."""
     text = str(location)
@@ -278,6 +406,11 @@ class ArtifactStore:
         disk_hits: Subset of ``hits`` served from the persistent layer.
         corrupt_evictions: Persistent entries evicted because they
             failed to unpickle (truncated by a killed writer).
+        read_faults / write_faults: Backend I/O errors survived — a
+            failed read degrades to a miss (the artifact is
+            recomputed), a failed write leaves the artifact
+            memory-only.  A flaky backend costs recomputation, never
+            correctness.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
@@ -293,6 +426,8 @@ class ArtifactStore:
         self.misses = 0
         self.disk_hits = 0
         self.corrupt_evictions = 0
+        self.read_faults = 0
+        self.write_faults = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -307,7 +442,16 @@ class ArtifactStore:
         """
         if self.storage is None:
             raise KeyError(key)
-        data = self.storage.read(key)
+        try:
+            data = self.storage.read(key)
+        except KeyError:
+            raise
+        except Exception:
+            # A flaky backend (network blip, injected chaos fault) is
+            # a *miss*, not a crash: the caller recomputes through the
+            # normal path and the run survives.
+            self.read_faults += 1
+            raise KeyError(key) from None
         try:
             return pickle.loads(data)
         except Exception:
@@ -325,8 +469,15 @@ class ArtifactStore:
     def _write_disk(self, key: str, value: Any) -> None:
         if self.storage is None:
             return
-        self.storage.write(
-            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        try:
+            self.storage.write(
+                key,
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            # The artifact stays memory-only; the next process that
+            # needs it recomputes.  Losing cache persistence must
+            # never lose the computed result in hand.
+            self.write_faults += 1
 
     # ------------------------------------------------------------------
     # public API
@@ -414,6 +565,8 @@ class ArtifactStore:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "corrupt_evictions": self.corrupt_evictions,
+            "read_faults": self.read_faults,
+            "write_faults": self.write_faults,
         }
 
     def clear_memory(self) -> None:

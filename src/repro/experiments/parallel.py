@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -47,7 +48,7 @@ R = TypeVar("R")
 
 __all__ = ["default_jobs", "parallel_map", "parallel_map_outcomes",
            "ParallelTaskError", "TaskFailure", "TaskOutcome",
-           "RowTask", "run_table1_rows"]
+           "RowTask", "run_table1_rows", "retry_backoff_delay"]
 
 
 class ParallelTaskError(RuntimeError):
@@ -57,6 +58,24 @@ class ParallelTaskError(RuntimeError):
 def default_jobs() -> int:
     """Worker count when ``--jobs 0`` asks for "all cores"."""
     return max(1, os.cpu_count() or 1)
+
+
+def retry_backoff_delay(base_s: float, attempt: int,
+                        rng: Optional[random.Random] = None,
+                        cap_s: float = 30.0) -> float:
+    """Full-jitter exponential backoff for retry wave ``attempt``.
+
+    Returns a delay drawn uniformly from ``[0, min(base_s *
+    2**(attempt-1), cap_s)]`` — full jitter, so a fleet of workers
+    retrying the same broken resource decorrelates instead of
+    thundering in lockstep at the deterministic schedule.  Pass a
+    seeded ``rng`` for reproducible tests/chaos drills.
+    """
+    if base_s <= 0 or attempt <= 0:
+        return 0.0
+    upper = min(base_s * (2 ** (attempt - 1)), cap_s)
+    draw = rng.uniform if rng is not None else random.uniform
+    return draw(0.0, upper)
 
 
 def describe_task(item: Any) -> str:

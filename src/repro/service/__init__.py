@@ -1,9 +1,12 @@
-"""Long-running experiment service: async sweep jobs over HTTP.
+"""Long-running experiment service: durable sweep jobs over HTTP.
 
-The job layer (:mod:`repro.service.jobs`) is dependency-free and fully
-usable in-process; the HTTP layer (:mod:`repro.service.app`) needs the
-optional ``service`` extra (fastapi + uvicorn) and is imported lazily
-so ``import repro.service`` never pulls it in.
+The job layer (:mod:`repro.service.jobs` over the SQLite journal in
+:mod:`repro.service.store`) is dependency-free and fully usable
+in-process — it survives ``kill -9`` and lets a fleet of
+``repro serve --worker`` processes drain one queue under heartbeat
+leases.  The HTTP layer (:mod:`repro.service.app`) needs the optional
+``service`` extra (fastapi + uvicorn) and is imported lazily so
+``import repro.service`` never pulls it in.
 """
 
 from repro.service.jobs import (
@@ -12,8 +15,9 @@ from repro.service.jobs import (
     JobState,
     records_to_csv,
 )
+from repro.service.store import JobStore
 
-__all__ = ["ExperimentJob", "JobManager", "JobState",
+__all__ = ["ExperimentJob", "JobManager", "JobState", "JobStore",
            "records_to_csv", "create_app", "fastapi_available"]
 
 

@@ -8,14 +8,20 @@ test suite — stays dependency-free.  The endpoints:
 * ``POST /sweeps`` — submit a sweep; the body is the same JSON (or
   TOML, via ``Content-Type: application/toml``) mapping that
   ``load_sweep_file`` parses, plus optional job knobs (``jobs``,
-  ``char_jobs``, ``timeout_s``, ``max_retries``, ``poison``).
+  ``char_jobs``, ``timeout_s``, ``max_retries``) and chaos knobs
+  (``poison``, ``crash_after_points``, ``lease_drop``).
 * ``GET /sweeps`` — newest-first job summaries.
 * ``GET /sweeps/{job_id}`` — live status: per-point
   done/cached/failed/remaining counts, retry counters, failures.
 * ``GET /sweeps/{job_id}/result`` — tidy rows of a finished job
   (``?aggregated=1`` adds the seed-aggregated view, ``?format=csv``
   returns CSV); 409 while the job is still queued/running.
-* ``GET /healthz`` — liveness plus structured service counters.
+* ``GET /healthz`` — liveness plus structured service counters;
+  ``degraded`` is scoped to a sliding window of recent job failures,
+  lifetime totals live under ``counters``.
+
+Jobs are journaled into a durable store shared with any
+``repro serve --worker`` drainers — see :mod:`repro.service.jobs`.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
-from repro.service.jobs import JobManager, JobState, records_to_csv
+from repro.service.jobs import JobManager, records_to_csv
 
 __all__ = ["create_app", "fastapi_available"]
 
@@ -136,9 +142,9 @@ def create_app(manager: Optional[JobManager] = None,
 
     @app.get("/healthz")
     def healthz() -> Dict[str, Any]:
-        stats = manager.stats()
-        states = stats.get("jobs", {})
-        degraded = states.get(JobState.FAILED, 0) > 0
-        return {"status": "degraded" if degraded else "ok", **stats}
+        # Degradation is scoped to a sliding window of recently
+        # finished jobs (manager.health()); stats() keeps the
+        # lifetime counters.
+        return {**manager.health(), **manager.stats()}
 
     return app

@@ -1,46 +1,70 @@
-"""In-process job queue and worker behind the experiment service.
+"""Durable job queue and lease-draining worker behind the service.
 
 This module is the fastapi-free core of ``repro.service``: a
 :class:`JobManager` accepts sweep specs (the same mappings
-:func:`~repro.experiments.sweep.load_sweep_file` parses), queues them,
-and a background worker thread runs each job's grid points over the
+:func:`~repro.experiments.sweep.load_sweep_file` parses), journals
+them into a :class:`~repro.service.store.JobStore` (SQLite, living
+beside the artifact cache), and a background drain thread claims jobs
+through the store's lease table and runs each grid over the
 :func:`~repro.experiments.parallel.parallel_map_outcomes` process pool
 — sharing one warm artifact cache across every job the service ever
 runs, so a re-submitted sweep is served instantly.
 
-Failure paths are first-class:
+Durability and fleet semantics are first-class:
 
+* every submission, per-point completion/failure and state transition
+  is journaled *before* it is acknowledged, so a service killed with
+  ``kill -9`` loses nothing committed: on restart, terminal jobs are
+  served as before and interrupted jobs are re-queued and resume from
+  the journal (recorded rows replayed, remaining points recomputed
+  through the warm cache);
+* jobs are claimed through a lease (worker id + heartbeat deadline):
+  any number of ``repro serve --worker`` processes pointed at the same
+  store drain one queue without double-running a point, and a worker
+  that dies simply stops heartbeating — its expired lease makes the
+  job reclaimable, exactly like pool breakage makes a point retriable;
 * a grid point whose worker is killed outright (pool breakage) is
-  retried with exponential backoff, up to ``max_retries`` times;
+  retried with exponential backoff *plus seeded full jitter* (so
+  multi-worker retry waves do not thunder in lockstep), up to
+  ``max_retries`` times;
 * a point that keeps failing marks the job ``partial`` — the surviving
   rows are kept and served, never discarded with the grid;
-* a per-job wall-clock ``timeout_s`` bounds runaway grids the same
-  way (unfinished points fail, finished rows survive);
-* every job carries structured counters (done / cached / failed /
-  retries / precached) that the status endpoint streams while the
-  grid runs.
+* ``GET /healthz`` degradation is scoped to a sliding window of recent
+  finished jobs, not the service's whole lifetime.
 
-The optional ``poison`` knob fails any point whose ``describe()``
-contains the given substring — a chaos hook the service smoke tests
-use to exercise the ``partial`` path end-to-end over HTTP.
+Chaos knobs (all journaled, all off by default) make the recovery
+paths deterministic to exercise: ``poison`` fails matching points
+before the cache, ``crash_after_points`` SIGKILLs the serving process
+the moment the N-th row of the job is journaled, and ``lease_drop``
+deliberately abandons the lease mid-job so another worker (or the same
+one, a heartbeat later) must reclaim and resume it.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import os
+import pickle
 import queue
+import random
+import signal
+import socket
 import tempfile
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Mapping, Optional, \
+    Sequence, Tuple
 
 from repro.core.artifacts import ArtifactStore
 from repro.experiments.parallel import (
     TaskFailure,
     parallel_map_outcomes,
+    retry_backoff_delay,
 )
 from repro.experiments.sweep import (
     PointTask,
@@ -55,6 +79,7 @@ from repro.experiments.sweep import (
     point_config,
     sweep_spec_from_mapping,
 )
+from repro.service.store import JobStore
 
 __all__ = ["JobManager", "ExperimentJob", "JobState",
            "records_to_csv", "JOB_ONLY_KEYS"]
@@ -74,8 +99,16 @@ class JobState:
 
 #: Submission keys consumed by the job layer (everything else must be
 #: a sweep-spec key and is validated by ``sweep_spec_from_mapping``).
+#: ``poison``, ``crash_after_points`` and ``lease_drop`` are the chaos
+#: knobs — deterministic fault injection for tests and smoke drills.
 JOB_ONLY_KEYS = ("jobs", "char_jobs", "timeout_s", "max_retries",
-                 "poison")
+                 "poison", "crash_after_points", "lease_drop")
+
+
+class _LeaseAbandoned(Exception):
+    """The drain thread must stop running this job *without*
+    finalizing it: the lease was lost to (or deliberately dropped for)
+    another claim, and whoever claims next resumes from the journal."""
 
 
 @dataclass(frozen=True)
@@ -116,11 +149,22 @@ class ExperimentJob:
     max_retries: int
     timeout_s: Optional[float]
     poison: Optional[str] = None
+    #: Chaos: SIGKILL the serving process the moment the job's N-th
+    #: row is journaled (crash-recovery drills; survives restarts but
+    #: fires only when the journaled total *equals* N, so the resumed
+    #: run sails past it).
+    crash_after_points: Optional[int] = None
+    #: Chaos: deliberately abandon the lease (journaled, at most this
+    #: many times) once the job has at least one row — the job must be
+    #: reclaimed and resumed from the journal.
+    lease_drop: int = 0
 
     state: str = JobState.QUEUED
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Worker id currently (or last) responsible for the job.
+    worker: Optional[str] = None
     #: Expansion-order slots; ``None`` until the point finishes.
     rows: List[Optional[SweepRow]] = field(default_factory=list)
     #: Grid index -> structured failure record (terminal failures only).
@@ -136,6 +180,18 @@ class ExperimentJob:
     @property
     def n_done(self) -> int:
         return sum(1 for row in self.rows if row is not None)
+
+    def knobs(self) -> Dict[str, Any]:
+        """The job-level knobs, JSON-able (journaled with the job)."""
+        return {
+            "jobs": self.jobs,
+            "char_jobs": self.char_jobs,
+            "max_retries": self.max_retries,
+            "timeout_s": self.timeout_s,
+            "poison": self.poison,
+            "crash_after_points": self.crash_after_points,
+            "lease_drop": self.lease_drop,
+        }
 
     def status(self) -> Dict[str, Any]:
         """JSON-able snapshot (the ``GET /sweeps/{id}`` payload)."""
@@ -164,6 +220,8 @@ class ExperimentJob:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.worker is not None:
+            snapshot["worker"] = self.worker
         if self.started_at is not None:
             end = self.finished_at if self.finished_at is not None \
                 else time.time()
@@ -198,30 +256,67 @@ def records_to_csv(records: Sequence[Mapping[str, Any]]) -> str:
     return buffer.getvalue()
 
 
+def _default_worker_id() -> str:
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:6]}")
+
+
 class JobManager:
-    """Queue + worker thread turning sweep specs into finished grids.
+    """Durable queue + lease-draining worker for sweep jobs.
 
     Args:
         cache_dir: Artifact-store location every job (and each job's
             pool workers) shares — a directory path or a registered
             ``scheme://...`` URL (see
-            :func:`repro.core.artifacts.register_storage_scheme`).
+            :func:`repro.core.artifacts.register_storage_scheme`,
+            including ``chaos://dir?read=0.05`` fault injection).
             ``None`` creates a service-lifetime temporary directory,
             so even then jobs share one warm cache.
         jobs: Default process count per job's grid (``1`` = inline in
-            the worker thread; ``0`` = all cores).
+            the drain thread; ``0`` = all cores).
         char_jobs: Default per-point characterization sharding.
         max_retries: Default bounded retries for points lost to pool
-            breakage (a killed worker), with exponential backoff.
-        retry_backoff_s: First backoff delay; doubles per retry wave.
+            breakage (a killed worker), with jittered backoff.
+        retry_backoff_s: Backoff scale; the actual delay of wave ``n``
+            is drawn uniformly from ``[0, retry_backoff_s * 2**(n-1)]``
+            (full jitter, 30 s cap) so retry waves from a worker fleet
+            decorrelate instead of thundering in lockstep.
         timeout_s: Default per-job wall-clock budget (``None`` = no
             limit); unfinished points fail, finished rows survive.
+        store_path: The SQLite job journal.  Defaults to
+            ``service-jobs.sqlite3`` beside the artifact cache (or in
+            a manager-lifetime temp dir when the cache has no local
+            root).  Point several managers — API nodes and
+            ``repro serve --worker`` drainers — at the same path and
+            they share one durable queue.
+        worker_id: This manager's lease identity (defaults to
+            ``host-pid-rand``; must be unique per process).
+        lease_s: Lease heartbeat deadline.  A claimed job's lease is
+            renewed every ``lease_s / 4``; a worker silent for longer
+            than ``lease_s`` forfeits the job to the next claimant.
+        poll_interval_s: How often the drain thread checks the store
+            for claimable jobs submitted elsewhere (local submissions
+            wake it immediately).
+        retry_jitter_seed: Seed for the backoff jitter RNG (chaos and
+            tests pin it; ``None`` = nondeterministic).
+        health_window_jobs / health_window_s: The sliding window
+            :meth:`health` scopes degradation to — only ``failed``
+            jobs among the last ``health_window_jobs`` finished within
+            ``health_window_s`` seconds degrade the service; lifetime
+            counts stay in :meth:`stats`.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
                  char_jobs: int = 1, max_retries: int = 2,
                  retry_backoff_s: float = 0.5,
-                 timeout_s: Optional[float] = None) -> None:
+                 timeout_s: Optional[float] = None,
+                 store_path: Optional[str] = None,
+                 worker_id: Optional[str] = None,
+                 lease_s: float = 30.0,
+                 poll_interval_s: float = 1.0,
+                 retry_jitter_seed: Optional[int] = None,
+                 health_window_jobs: int = 20,
+                 health_window_s: float = 600.0) -> None:
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         if cache_dir is None:
             self._tempdir = tempfile.TemporaryDirectory(
@@ -233,26 +328,72 @@ class JobManager:
         self.default_max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.default_timeout_s = timeout_s
+        self.worker_id = (worker_id if worker_id is not None
+                          else _default_worker_id())
+        self.lease_s = float(lease_s)
+        self.poll_interval_s = float(poll_interval_s)
+        self.health_window_jobs = int(health_window_jobs)
+        self.health_window_s = float(health_window_s)
         self.started_at = time.time()
+        self._retry_rng = random.Random(retry_jitter_seed)
 
         # Reclaim tmp litter a previously killed service left behind.
-        self.stale_tmp_swept = ArtifactStore(
-            self.cache_dir).sweep_stale_tmp()
+        probe = ArtifactStore(self.cache_dir)
+        self.stale_tmp_swept = probe.sweep_stale_tmp()
+
+        # The durable journal lives beside the artifact cache so the
+        # two move (and get backed up / mounted) together; caches
+        # without a local root (object stores) fall back to a
+        # manager-lifetime temp dir unless a path is given explicitly.
+        if store_path is None:
+            root = probe.cache_dir
+            if root is not None:
+                store_path = str(Path(root) / "service-jobs.sqlite3")
+            else:
+                if self._tempdir is None:
+                    self._tempdir = tempfile.TemporaryDirectory(
+                        prefix="repro-service-store-")
+                store_path = str(Path(self._tempdir.name)
+                                 / "service-jobs.sqlite3")
+        self.store = JobStore(store_path)
 
         self._lock = threading.Lock()
         self._jobs: Dict[str, ExperimentJob] = {}
         self._order: List[str] = []
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
-        self._stats = {
-            "jobs_submitted": 0, "jobs_done": 0, "jobs_partial": 0,
-            "jobs_failed": 0, "points_done": 0, "points_cached": 0,
-            "points_failed": 0, "point_retries": 0,
-        }
+        #: Job id this manager's drain thread is currently running.
+        self._active: Optional[str] = None
+        #: Leases the heartbeat failed to renew (stolen after expiry).
+        self._lost_leases: set = set()
+        self._recent_outcomes: Deque[Tuple[float, str]] = deque(
+            maxlen=max(1, self.health_window_jobs))
+        self._stats = self.store.lifetime_counters()
         self._closed = False
+        self._stop = threading.Event()
+
+        # Crash recovery: rebuild every journaled job.  Terminal jobs
+        # are served exactly as before the restart; interrupted ones
+        # stay claimable (their dead owner's lease expires) and resume
+        # from the journal.
+        self.resumed_jobs: List[str] = []
+        for record in self.store.load_jobs():
+            job = self._rebuild_job(record)
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            if job.state not in JobState.TERMINAL:
+                self.resumed_jobs.append(job.job_id)
+        self.recovered_jobs = len(self._jobs)
+
         self._worker = threading.Thread(target=self._worker_loop,
                                         name="repro-service-worker",
                                         daemon=True)
         self._worker.start()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name="repro-service-heartbeat", daemon=True)
+        self._heartbeat.start()
+        for job_id in self.resumed_jobs:
+            self._queue.put(job_id)  # wake the drain thread promptly
 
     # ------------------------------------------------------------------
     # submission
@@ -275,11 +416,18 @@ class JobManager:
             knobs["timeout_s"] = float(knobs["timeout_s"])
             if knobs["timeout_s"] <= 0:
                 raise ValueError("timeout_s must be positive")
-        for key in ("jobs", "char_jobs", "max_retries"):
+        for key in ("jobs", "char_jobs", "max_retries", "lease_drop"):
             if key in knobs:
                 knobs[key] = int(knobs[key])
         if knobs.get("max_retries", 0) < 0:
             raise ValueError("max_retries must be >= 0")
+        if knobs.get("lease_drop", 0) < 0:
+            raise ValueError("lease_drop must be >= 0")
+        if knobs.get("crash_after_points") is not None:
+            knobs["crash_after_points"] = int(
+                knobs["crash_after_points"])
+            if knobs["crash_after_points"] < 1:
+                raise ValueError("crash_after_points must be >= 1")
         poison = knobs.get("poison")
         if poison is not None and not isinstance(poison, str):
             raise ValueError("poison must be a string (substring of a "
@@ -291,8 +439,10 @@ class JobManager:
                     char_jobs: Optional[int] = None,
                     max_retries: Optional[int] = None,
                     timeout_s: Optional[float] = None,
-                    poison: Optional[str] = None) -> Dict[str, Any]:
-        """Queue a normalized sweep; returns the initial status."""
+                    poison: Optional[str] = None,
+                    crash_after_points: Optional[int] = None,
+                    lease_drop: int = 0) -> Dict[str, Any]:
+        """Journal + queue a normalized sweep; returns the status."""
         if self._closed:
             raise RuntimeError("job manager is shut down")
         points = expand(spec)
@@ -308,8 +458,18 @@ class JobManager:
             timeout_s=(self.default_timeout_s if timeout_s is None
                        else timeout_s),
             poison=poison,
+            crash_after_points=crash_after_points,
+            lease_drop=lease_drop,
         )
         job.rows = [None] * len(points)
+        # Journal the submission *before* acknowledging it: a crash
+        # between here and the queue loses nothing — recovery (or any
+        # fleet worker polling the store) picks the job up.
+        self.store.create_job(
+            job.job_id, job.created_at,
+            pickle.dumps((spec, tuple(points)),
+                         protocol=pickle.HIGHEST_PROTOCOL),
+            job.knobs())
         with self._lock:
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
@@ -324,18 +484,80 @@ class JobManager:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def _find(self, job_id: str) -> Optional[ExperimentJob]:
+        """Local job, or one adopted from the store (submitted by a
+        sibling node sharing the journal)."""
         job = self.get(job_id)
+        if job is not None:
+            return job
+        record = self.store.load_job(job_id)
+        if record is None:
+            return None
+        adopted = self._rebuild_job(record)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing
+            self._jobs[job_id] = adopted
+            self._order.append(job_id)
+        return adopted
+
+    def _sync_from_store(self, job: ExperimentJob) -> None:
+        """Refresh a job some *other* worker is (or was) running.
+
+        Reads first (store locks only), then merges under the manager
+        lock; recorded rows are replayed into empty slots only, so a
+        local runner and a refresh can never fight over a slot.
+        """
+        record = self.store.load_job(job.job_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        rows = self.store.load_rows(job.job_id)
+        failures = self.store.load_failures(job.job_id)
+        with self._lock:
+            if job.state in JobState.TERMINAL:
+                return
+            cached = 0
+            for index, (blob, was_cached) in rows.items():
+                if job.rows[index] is None:
+                    job.rows[index] = pickle.loads(blob)
+                cached += 1 if was_cached else 0
+            for index, failure in failures.items():
+                if job.rows[index] is None:
+                    job.failures.setdefault(index, failure)
+            job.cached = cached
+            job.state = record["state"]
+            job.worker = record["worker"] or job.worker
+            job.started_at = record["started_at"] or job.started_at
+            job.finished_at = record["finished_at"]
+            job.error = record["error"]
+            job.precached = max(job.precached, record["precached"])
+            job.retries = max(job.retries, record["retries"])
+            if job.state in JobState.TERMINAL:
+                job.finished.set()
+
+    def _maybe_sync(self, job: ExperimentJob) -> None:
+        if job.state not in JobState.TERMINAL \
+                and self._active != job.job_id:
+            self._sync_from_store(job)
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        job = self._find(job_id)
         if job is None:
             return None
+        self._maybe_sync(job)
         with self._lock:
             return job.status()
 
     def list_jobs(self) -> List[Dict[str, Any]]:
         """Newest-first summaries of every job the service has seen."""
         with self._lock:
-            return [self._jobs[job_id].status()
+            jobs = [self._jobs[job_id]
                     for job_id in reversed(self._order)]
+        for job in jobs:
+            self._maybe_sync(job)
+        with self._lock:
+            return [job.status() for job in jobs]
 
     def result(self, job_id: str,
                aggregated: bool = False) -> Optional[Dict[str, Any]]:
@@ -344,35 +566,63 @@ class JobManager:
         ``None`` for an unknown id; a job still queued/running returns
         a dict whose only keys are ``state`` and ``job_id`` — the HTTP
         layer maps that to 409.
+
+        The row snapshot is taken under the manager lock but the
+        (potentially large) tidy/aggregate serialization runs
+        *outside* it, so a client downloading a big terminal grid
+        never blocks concurrent submits and status polls.
         """
-        job = self.get(job_id)
+        job = self._find(job_id)
         if job is None:
             return None
+        self._maybe_sync(job)
         with self._lock:
             if job.state not in JobState.TERMINAL:
                 return {"job_id": job.job_id, "state": job.state}
-            result = job.sweep_result()
-            payload: Dict[str, Any] = {
-                "job_id": job.job_id,
-                "state": job.state,
-                "n_rows": len(result.rows),
-                "n_failed": len(job.failures),
-                "rows": result.tidy(),
-            }
-            if aggregated:
-                payload["aggregated"] = result.tidy_aggregated()
-            if job.failures:
-                payload["failures"] = [job.failures[index]
-                                       for index in sorted(job.failures)]
-            return payload
+            state = job.state
+            rows = [row for row in job.rows if row is not None]
+            failures = [job.failures[index]
+                        for index in sorted(job.failures)]
+        result = SweepResult(sweep=job.spec, rows=rows)
+        payload: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "state": state,
+            "n_rows": len(rows),
+            "n_failed": len(failures),
+            "rows": result.tidy(),
+        }
+        if aggregated:
+            payload["aggregated"] = result.tidy_aggregated()
+        if failures:
+            payload["failures"] = failures
+        return payload
 
     def wait(self, job_id: str,
-             timeout: Optional[float] = None) -> bool:
-        """Block until ``job_id`` reaches a terminal state."""
-        job = self.get(job_id)
+             timeout: Optional[float] = None) -> Optional[bool]:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Returns ``True`` once terminal, ``False`` on timeout and —
+        matching :meth:`status` / :meth:`result` — ``None`` for an
+        unknown id (it never raises).  Jobs run by a sibling worker
+        are observed through the shared store.
+        """
+        job = self._find(job_id)
         if job is None:
-            raise KeyError(job_id)
-        return job.finished.wait(timeout)
+            return None
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            step = 0.1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job.finished.is_set()
+                step = min(step, remaining)
+            if job.finished.wait(step):
+                return True
+            self._maybe_sync(job)
+            if job.finished.is_set():
+                return True
 
     def stats(self) -> Dict[str, Any]:
         """Service-level counters for ``GET /healthz``."""
@@ -386,27 +636,152 @@ class JobManager:
                 "stale_tmp_swept": self.stale_tmp_swept,
                 "jobs": dict(by_state),
                 "counters": dict(self._stats),
+                "store": {
+                    "path": str(self.store.path),
+                    "worker_id": self.worker_id,
+                    "lease_s": self.lease_s,
+                    "recovered_jobs": self.recovered_jobs,
+                    "resumed_jobs": len(self.resumed_jobs),
+                },
             }
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness verdict scoped to a sliding failure window.
+
+        Only ``failed`` jobs among the last ``health_window_jobs``
+        finished jobs *and* within ``health_window_s`` seconds count —
+        one bad spec submitted last week must not mark the service
+        degraded forever.  Lifetime totals stay in :meth:`stats`.
+        """
+        now = time.time()
+        with self._lock:
+            recent = [state for ts, state in self._recent_outcomes
+                      if now - ts <= self.health_window_s]
+        recent_failed = sum(1 for state in recent
+                            if state == JobState.FAILED)
+        return {
+            "status": "degraded" if recent_failed else "ok",
+            "window": {
+                "jobs": self.health_window_jobs,
+                "seconds": self.health_window_s,
+                "recent_jobs": len(recent),
+                "recent_failed": recent_failed,
+            },
+        }
+
     # ------------------------------------------------------------------
-    # the worker
+    # recovery plumbing
+    # ------------------------------------------------------------------
+    def _rebuild_job(self, record: Dict[str, Any]) -> ExperimentJob:
+        """An :class:`ExperimentJob` replayed from its journal."""
+        spec, points = pickle.loads(record["spec"])
+        knobs = record["knobs"]
+        job = ExperimentJob(
+            job_id=record["job_id"],
+            spec=spec,
+            points=list(points),
+            jobs=knobs.get("jobs", self.default_jobs),
+            char_jobs=knobs.get("char_jobs", self.default_char_jobs),
+            max_retries=knobs.get("max_retries",
+                                  self.default_max_retries),
+            timeout_s=knobs.get("timeout_s"),
+            poison=knobs.get("poison"),
+            crash_after_points=knobs.get("crash_after_points"),
+            lease_drop=knobs.get("lease_drop", 0) or 0,
+        )
+        job.state = record["state"]
+        job.created_at = record["created_at"]
+        job.started_at = record["started_at"]
+        job.finished_at = record["finished_at"]
+        job.worker = record["worker"]
+        job.error = record["error"]
+        job.precached = record["precached"]
+        job.retries = record["retries"]
+        job.rows = [None] * len(job.points)
+        cached = 0
+        for index, (blob, was_cached) in \
+                self.store.load_rows(job.job_id).items():
+            job.rows[index] = pickle.loads(blob)
+            cached += 1 if was_cached else 0
+        job.cached = cached
+        job.failures = self.store.load_failures(job.job_id)
+        if job.state in JobState.TERMINAL:
+            job.finished.set()
+        return job
+
+    # ------------------------------------------------------------------
+    # the drain thread
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
-            job_id = self._queue.get()
-            if job_id is None:
-                return
-            job = self.get(job_id)
-            if job is None:  # pragma: no cover - defensive
-                continue
             try:
-                self._run_job(job)
+                token = self._queue.get(timeout=self.poll_interval_s)
+                if token is None:
+                    return
+            except queue.Empty:
+                pass
+            if self._closed:
+                return
+            self._drain()
+
+    def _drain(self) -> None:
+        """Claim and run store jobs until nothing is claimable."""
+        while not self._closed:
+            try:
+                claim = self.store.claim_next(self.worker_id,
+                                              self.lease_s)
+            except Exception:  # pragma: no cover - store closed/racy
+                return
+            if claim is None:
+                return
+            self._lost_leases.discard(claim.job_id)
+            job = self._find(claim.job_id)
+            if job is None or job.state in JobState.TERMINAL:
+                # A sibling finished it between our SELECT and now.
+                self.store.release_lease(claim.job_id, self.worker_id)
+                continue
+            self._active = claim.job_id
+            try:
+                self._run_job(job, resumed=claim.reclaimed)
+            except _LeaseAbandoned:
+                # Not ours anymore (stolen or deliberately dropped);
+                # whoever claims next resumes from the journal.
+                pass
             except Exception as error:
-                # A job-level crash must never kill the worker thread;
+                # A job-level crash must never kill the drain thread;
                 # the job reports it and the queue moves on.
                 with self._lock:
                     job.error = f"{type(error).__name__}: {error}"
                     self._finalize(job)
+            finally:
+                self._active = None
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(0.05, self.lease_s / 4.0)
+        while not self._stop.wait(interval):
+            active = self._active
+            if active is None or self._closed:
+                continue
+            try:
+                renewed = self.store.renew_lease(active, self.worker_id,
+                                                 self.lease_s)
+            except Exception:  # pragma: no cover - store closed/racy
+                continue
+            if not renewed:
+                self._lost_leases.add(active)
+
+    def _check_job_chaos(self, job: ExperimentJob) -> None:
+        """Abandon the job if its lease is gone (stolen or dropped)."""
+        if job.job_id in self._lost_leases:
+            raise _LeaseAbandoned(f"lease on {job.job_id} lost")
+        if job.lease_drop and job.n_done > 0:
+            drops = self.store.count_events(job.job_id,
+                                            "lease_dropped")
+            if drops < job.lease_drop:
+                self.store.drop_lease(job.job_id, self.worker_id)
+                raise _LeaseAbandoned(
+                    f"lease on {job.job_id} deliberately dropped "
+                    f"(chaos knob, drop {drops + 1}/{job.lease_drop})")
 
     def _record_row(self, job: ExperimentJob, index: int,
                     row: SweepRow) -> None:
@@ -419,13 +794,24 @@ class JobManager:
             if row.cached:
                 job.cached += 1
                 self._stats["points_cached"] += 1
+        # Journal outside the lock (pickling a big payload must not
+        # block status polls), but strictly *before* the chaos crash:
+        # a journaled row is durable even against the SIGKILL below.
+        self.store.record_row(
+            job.job_id, index,
+            pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL),
+            row.cached)
+        if job.crash_after_points is not None \
+                and job.n_done == job.crash_after_points:
+            os.kill(os.getpid(), signal.SIGKILL)
+        self._check_job_chaos(job)
 
     def _record_failure(self, job: ExperimentJob, index: int,
                         failure: TaskFailure, attempts: int) -> None:
         with self._lock:
             if job.rows[index] is not None:
                 return
-            job.failures[index] = {
+            record = {
                 "point": job.points[index].describe(),
                 "kind": failure.kind,
                 "attempts": attempts,
@@ -434,12 +820,19 @@ class JobManager:
                           if failure.error is not None
                           else failure.summary()),
             }
+            job.failures[index] = record
             self._stats["points_failed"] += 1
+        self.store.record_failure(job.job_id, index, record)
 
-    def _run_job(self, job: ExperimentJob) -> None:
+    def _run_job(self, job: ExperimentJob, resumed: bool = False
+                 ) -> None:
         with self._lock:
             job.state = JobState.RUNNING
-            job.started_at = time.time()
+            if job.started_at is None:
+                job.started_at = time.time()
+            job.worker = self.worker_id
+        self.store.mark_running(job.job_id, job.started_at,
+                                self.worker_id, resumed=resumed)
 
         # How much of the grid the warm cache can already serve — the
         # number that makes "re-submission is instant" observable.
@@ -451,12 +844,19 @@ class JobManager:
             in probe)
         with self._lock:
             job.precached = precached
+        self.store.set_precached(job.job_id, precached)
 
         deadline = (None if job.timeout_s is None
                     else time.monotonic() + job.timeout_s)
-        pending = list(_scheduled_order(job.points))
+        # Resume from the journal: recorded rows and terminal failures
+        # are replayed, only the remainder is (re)computed — and those
+        # mostly land on warm artifact-cache entries.
+        pending = [index for index in _scheduled_order(job.points)
+                   if job.rows[index] is None
+                   and index not in job.failures]
         attempt = 0
         while pending:
+            self._check_job_chaos(job)
             wave = list(pending)
             tasks = [
                 _ServiceTask(
@@ -493,9 +893,12 @@ class JobManager:
             with self._lock:
                 job.retries += len(retriable)
                 self._stats["point_retries"] += len(retriable)
-            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            self.store.record_retry_wave(job.job_id, job.retries,
+                                         len(retriable), attempt)
+            delay = retry_backoff_delay(self.retry_backoff_s, attempt,
+                                        self._retry_rng)
             if delay > 0:
-                time.sleep(min(delay, 30.0))
+                time.sleep(delay)
             pending = retriable
 
         with self._lock:
@@ -513,17 +916,36 @@ class JobManager:
             job.state = JobState.DONE
             self._stats["jobs_done"] += 1
         job.finished_at = time.time()
+        self._recent_outcomes.append((job.finished_at, job.state))
+        try:
+            self.store.finish_job(job.job_id, job.state,
+                                  job.finished_at, job.error,
+                                  job.retries, self.worker_id)
+        except Exception:  # pragma: no cover - store closed mid-stop
+            pass
         job.finished.set()
 
     def shutdown(self, wait: bool = True,
                  timeout: Optional[float] = 30.0) -> None:
-        """Stop the worker (after the current job) and clean up."""
+        """Stop the drain thread (after the current job), release any
+        held lease, and clean up."""
         if self._closed:
             return
         self._closed = True
+        self._stop.set()
         self._queue.put(None)
         if wait:
             self._worker.join(timeout)
+        active = self._active
+        if active is not None and not self._worker.is_alive():
+            # The drain thread is gone but a claim is still on the
+            # books (abandoned mid-job) — free it for other workers.
+            try:
+                self.store.release_lease(active, self.worker_id)
+            except Exception:  # pragma: no cover - defensive
+                pass
+        if wait and not self._worker.is_alive():
+            self.store.close()
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None

@@ -9,13 +9,16 @@ reported as a miss everywhere.
 """
 
 import pickle
+from pathlib import Path
 
 import pytest
 
 from repro.core.artifacts import (
     ArtifactStore,
+    ChaosStorage,
     LocalDirStorage,
     StorageBackend,
+    StorageFault,
     register_storage_scheme,
     storage_from_url,
 )
@@ -160,7 +163,9 @@ class TestStorageBackends:
         disk.get_or_compute("k", lambda: 1)           # disk hit
         assert store.counters() == {"hits": 1, "misses": 1,
                                     "disk_hits": 0,
-                                    "corrupt_evictions": 0}
+                                    "corrupt_evictions": 0,
+                                    "read_faults": 0,
+                                    "write_faults": 0}
         assert disk.counters()["disk_hits"] == 1
 
 
@@ -195,3 +200,97 @@ def _echo_runner(point, context):
             "metrics": {"accuracy": value, "n_weights": 1,
                         "power_opt_mw": value},
             "skipped": None}
+
+
+class TestChaosStorage:
+    """The fault-injection harness and the store's tolerance of it."""
+
+    def test_seeded_faults_are_deterministic(self, tmp_path):
+        def drill(seed):
+            chaos = ChaosStorage(LocalDirStorage(tmp_path / str(seed)),
+                                 read_fault_rate=0.5,
+                                 write_fault_rate=0.5, seed=seed)
+            events = []
+            for i in range(40):
+                try:
+                    chaos.write(f"k{i}", b"payload")
+                    events.append(("w", i))
+                except StorageFault:
+                    events.append(("W!", i))
+                try:
+                    chaos.read(f"k{i}")
+                    events.append(("r", i))
+                except (StorageFault, KeyError):
+                    events.append(("R!", i))
+            return events
+
+        assert drill(7) == drill(7)
+        assert drill(7) != drill(8)
+
+    def test_injected_corruption_feeds_corrupt_eviction(self, tmp_path):
+        chaos = ChaosStorage(LocalDirStorage(tmp_path),
+                             corrupt_rate=1.0, seed=0)
+        store = ArtifactStore(storage=chaos)
+        store.put("k", {"value": 1})
+        fresh = ArtifactStore(storage=ChaosStorage(
+            LocalDirStorage(tmp_path), corrupt_rate=1.0, seed=0))
+        # Every read comes back truncated -> the existing
+        # corrupt-eviction path fires, and the entry is a miss.
+        assert "k" not in fresh
+        assert fresh.corrupt_evictions == 1
+        assert chaos.counters()["injected_corruptions"] == 0
+
+    def test_read_fault_degrades_to_recompute(self, tmp_path):
+        chaos = ChaosStorage(LocalDirStorage(tmp_path),
+                             read_fault_rate=1.0, seed=0)
+        store = ArtifactStore(storage=chaos)
+        store.put("k", 41)
+        store.clear_memory()
+        calls = []
+        assert store.get_or_compute(
+            "k", lambda: calls.append(1) or 42) == 42
+        assert calls == [1]
+        assert store.read_faults >= 1
+        assert store.counters()["read_faults"] == store.read_faults
+
+    def test_write_fault_keeps_artifact_in_memory(self, tmp_path):
+        chaos = ChaosStorage(LocalDirStorage(tmp_path),
+                             write_fault_rate=1.0, seed=0)
+        store = ArtifactStore(storage=chaos)
+        assert store.get_or_compute("k", lambda: 42) == 42
+        assert store.get("k") == 42          # still served from memory
+        assert store.write_faults == 1
+        assert chaos.injected_write_faults == 1
+        clean = ArtifactStore(cache_dir=tmp_path)
+        assert "k" not in clean              # never hit the disk
+
+    def test_chaos_url_scheme(self, tmp_path):
+        url = (f"chaos://{tmp_path}/cache"
+               f"?read=0.25&write=0.5&corrupt=0.1&seed=13")
+        backend = storage_from_url(url)
+        assert isinstance(backend, ChaosStorage)
+        assert backend.read_fault_rate == 0.25
+        assert backend.write_fault_rate == 0.5
+        assert backend.corrupt_rate == 0.1
+        assert backend.root == Path(f"{tmp_path}/cache")
+        plain = storage_from_url(f"chaos://{tmp_path}/cache")
+        assert plain.read_fault_rate == 0.0
+        with pytest.raises(ValueError, match="directory path"):
+            storage_from_url("chaos://?read=0.5")
+
+    def test_bad_rates_are_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="read_fault_rate"):
+            ChaosStorage(LocalDirStorage(tmp_path), read_fault_rate=1.5)
+
+    def test_fault_free_chaos_is_transparent(self, tmp_path):
+        chaos = ChaosStorage(LocalDirStorage(tmp_path), seed=3)
+        store = ArtifactStore(storage=chaos)
+        store.put("k", {"value": 9})
+        fresh = ArtifactStore(storage=ChaosStorage(
+            LocalDirStorage(tmp_path), seed=4))
+        assert fresh.get("k") == {"value": 9}
+        assert chaos.sweep_stale_tmp() == 0
+        assert "chaos" in chaos.describe()
+        assert chaos.contains("k")
+        chaos.delete("k")
+        assert not chaos.contains("k")

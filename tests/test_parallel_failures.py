@@ -15,6 +15,7 @@ Three bugs these pin down:
 """
 
 import os
+import random
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -27,6 +28,7 @@ from repro.experiments.parallel import (
     TaskOutcome,
     parallel_map,
     parallel_map_outcomes,
+    retry_backoff_delay,
 )
 
 
@@ -199,3 +201,44 @@ class TestOutcomes:
         assert "point x" in failure.summary()
         assert "pool" in failure.summary() or "killed" \
             in failure.summary()
+
+
+class TestRetryBackoffJitter:
+    """Full-jitter backoff: uniform in [0, base * 2**(n-1)], capped.
+
+    Without jitter every worker in a fleet retries a broken resource
+    at the same deterministic instants; the uniform draw decorrelates
+    the waves while keeping the exponential envelope.
+    """
+
+    def test_delays_stay_within_the_exponential_envelope(self):
+        rng = random.Random(123)
+        for attempt in range(1, 12):
+            upper = min(0.5 * 2 ** (attempt - 1), 30.0)
+            for _ in range(50):
+                delay = retry_backoff_delay(0.5, attempt, rng)
+                assert 0.0 <= delay <= upper
+
+    def test_cap_bounds_late_waves(self):
+        rng = random.Random(0)
+        assert all(retry_backoff_delay(10.0, 50, rng) <= 30.0
+                   for _ in range(200))
+        assert all(retry_backoff_delay(10.0, 50, rng, cap_s=2.0) <= 2.0
+                   for _ in range(200))
+
+    def test_seeded_rng_is_reproducible(self):
+        first = [retry_backoff_delay(0.5, n, random.Random(42))
+                 for n in range(1, 6)]
+        second = [retry_backoff_delay(0.5, n, random.Random(42))
+                  for n in range(1, 6)]
+        assert first == second
+
+    def test_draws_actually_jitter(self):
+        rng = random.Random(1)
+        draws = {retry_backoff_delay(1.0, 3, rng) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_degenerate_inputs_return_zero(self):
+        assert retry_backoff_delay(0.0, 3) == 0.0
+        assert retry_backoff_delay(-1.0, 3) == 0.0
+        assert retry_backoff_delay(0.5, 0) == 0.0

@@ -13,7 +13,10 @@ module-level sentinel path, so no real pipeline work runs.
 import json
 import multiprocessing
 import os
+import threading
 import time
+from collections.abc import Mapping
+from dataclasses import replace
 
 import pytest
 
@@ -127,10 +130,11 @@ class TestLifecycle:
         assert stats["jobs"] == {JobState.DONE: 2}
 
     def test_unknown_job_id(self, manager):
+        # One contract across the query surface: unknown ids return
+        # None everywhere — wait() included, it must never raise.
         assert manager.status("nope") is None
         assert manager.result("nope") is None
-        with pytest.raises(KeyError):
-            manager.wait("nope", timeout=0.1)
+        assert manager.wait("nope", timeout=0.1) is None
 
     def test_submit_after_shutdown_is_rejected(self, tmp_path,
                                                echo_experiment):
@@ -269,6 +273,107 @@ class TestFailurePaths:
             assert status["counters"]["retries"] >= 1
         finally:
             mgr.shutdown()
+
+
+class TestHealthWindow:
+    """Degradation is scoped to recent failures, not the lifetime."""
+
+    def test_failure_degrades_within_window(self, manager,
+                                            echo_experiment):
+        body = dict(SPEC, poison="fig8 point")
+        _finish(manager, manager.submit_mapping(body))
+        health = manager.health()
+        assert health["status"] == "degraded"
+        assert health["window"]["recent_failed"] == 1
+
+    def test_degradation_expires_with_the_time_window(
+            self, tmp_path, echo_experiment):
+        mgr = JobManager(cache_dir=str(tmp_path / "cache"),
+                         retry_backoff_s=0.01, health_window_s=0.3)
+        try:
+            body = dict(SPEC, poison="fig8 point")
+            _finish(mgr, mgr.submit_mapping(body))
+            assert mgr.health()["status"] == "degraded"
+            deadline = time.monotonic() + 5.0
+            while mgr.health()["status"] != "ok":
+                assert time.monotonic() < deadline, \
+                    "degradation never aged out of the time window"
+                time.sleep(0.05)
+            # ... but the lifetime counters keep it on the books.
+            assert mgr.stats()["counters"]["jobs_failed"] == 1
+        finally:
+            mgr.shutdown()
+
+    def test_healthy_jobs_push_failures_out_of_the_window(
+            self, tmp_path, echo_experiment):
+        mgr = JobManager(cache_dir=str(tmp_path / "cache"),
+                         retry_backoff_s=0.01, health_window_jobs=2)
+        try:
+            _finish(mgr, mgr.submit_mapping(
+                dict(SPEC, poison="fig8 point")))
+            assert mgr.health()["status"] == "degraded"
+            _finish(mgr, mgr.submit_mapping(SPEC))
+            _finish(mgr, mgr.submit_mapping(dict(SPEC, seeds=[1])))
+            assert mgr.health()["status"] == "ok"
+            assert mgr.stats()["counters"]["jobs_failed"] == 1
+        finally:
+            mgr.shutdown()
+
+
+class _SlowMetrics(Mapping):
+    """A Mapping whose iteration stalls — stands in for a huge grid
+    whose ``tidy()`` serialization is genuinely expensive."""
+
+    def __init__(self, data, delay_s):
+        self._data = dict(data)
+        self._delay_s = delay_s
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __iter__(self):
+        time.sleep(self._delay_s)
+        return iter(self._data)
+
+    def __len__(self):
+        return len(self._data)
+
+    def keys(self):
+        time.sleep(self._delay_s)
+        return self._data.keys()
+
+
+class TestResultSerialization:
+    def test_result_serializes_outside_the_lock(self, manager,
+                                                echo_experiment):
+        """A client downloading a big terminal grid must not block
+        concurrent status polls: the row snapshot is taken under the
+        manager lock, the tidy/aggregate serialization outside it."""
+        status = _finish(manager, manager.submit_mapping(SPEC))
+        job = manager.get(status["job_id"])
+        job.rows = [replace(row, metrics=_SlowMetrics(row.metrics,
+                                                      delay_s=0.4))
+                    for row in job.rows]
+
+        finished = threading.Event()
+        payload = {}
+
+        def _download():
+            payload["result"] = manager.result(status["job_id"])
+            finished.set()
+
+        thread = threading.Thread(target=_download)
+        thread.start()
+        time.sleep(0.05)  # let result() snapshot and start tidying
+        t0 = time.monotonic()
+        assert manager.status(status["job_id"]) is not None
+        elapsed = time.monotonic() - t0
+        assert finished.wait(10.0), "result() never finished"
+        thread.join()
+        assert payload["result"]["n_rows"] == 2
+        assert elapsed < 0.35, (
+            f"status() blocked {elapsed:.2f}s behind result() "
+            f"serialization — tidy must run outside the lock")
 
 
 class TestCsv:
