@@ -1,77 +1,43 @@
-"""Accelerator design-space exploration with the systolic substrate.
+"""Accelerator design-space exploration over the stage graph.
 
-Uses the library below the PowerPruning core: sweep array geometry and
-hardware gating features for a fixed workload mix and report utilization
-and power — the kind of what-if an accelerator architect runs before
-committing to a configuration.
+The systolic layer is a first-class sweep axis: one ``accel`` sweep
+evaluates array geometry x hardware variant on the *actual pruned
+network* (not a synthetic workload mix), reusing the training and
+characterization prefix across every design point through the
+content-addressed artifact store.  The second run below replays the
+same grid against the warm cache and computes nothing — the what-if
+loop an accelerator architect iterates on is free after the first
+pass.
 
 Run:
     python examples/accelerator_design_space.py
 """
 
-import numpy as np
+import tempfile
+import time
 
-from repro import (
-    ArrayPowerModel,
-    MacPowerParams,
-    OPTIMIZED_HW,
-    STANDARD_HW,
-    SystolicConfig,
-    TransitionDistribution,
-    WeightPowerCharacterizer,
-    build_mac_unit,
-    default_library,
-)
-from repro.power import BinnedTransitions, PartialSumBinner
-from repro.systolic import schedule_matmul
-
-#: A small CNN's layer mix: (K, N, M) matmul shapes.
-WORKLOADS = (
-    (75, 16, 1024),    # stem conv
-    (144, 32, 256),    # mid conv
-    (288, 64, 64),     # late conv
-    (256, 10, 1),      # classifier
-)
-
-
-def characterize(mac, library):
-    rng = np.random.default_rng(0)
-    act = TransitionDistribution.diagonal(256)
-    stream = np.clip(np.cumsum(rng.integers(-(1 << 12), 1 << 12, 20000)),
-                     -(1 << 20), 1 << 20)
-    binner = PartialSumBinner(n_bins=20).fit(stream, rng=rng)
-    characterizer = WeightPowerCharacterizer(
-        mac, library, act, BinnedTransitions.from_stream(binner, stream),
-        n_samples=800)
-    return characterizer.characterize(range(-127, 128, 8))
+from repro.experiments.accel import run
+from repro.experiments.sweep import format_sweep
 
 
 def main() -> None:
-    library = default_library()
-    mac = build_mac_unit()
-    table = characterize(mac, library)
-    rng = np.random.default_rng(1)
+    with tempfile.TemporaryDirectory(prefix="accel-example-") as cache:
+        start = time.perf_counter()
+        result = run(scale="smoke",
+                     array_shapes=("16x16", "32x32", "hw"),
+                     cache_dir=cache)
+        cold = time.perf_counter() - start
+        print(format_sweep(result))
 
-    print("array    variant       utilization  power[mW]  "
-          "energy/inference[uJ]")
-    for size in (16, 32, 64, 128):
-        config = SystolicConfig(rows=size, cols=size)
-        model = ArrayPowerModel(config, MacPowerParams(table=table))
-        layers = []
-        for k, n, m in WORKLOADS:
-            weights = rng.integers(-127, 128, (k, n))
-            weights[rng.random(weights.shape) < 0.5] = 0  # pruned net
-            layers.append((schedule_matmul(k, n, m, config), weights))
-        total_cycles = sum(s.total_cycles for s, __ in layers)
-        total_macs = sum(s.total_macs for s, __ in layers)
-        utilization = total_macs / (total_cycles * config.n_pes)
-        for variant in (STANDARD_HW, OPTIMIZED_HW):
-            power = model.network_power(layers, variant)
-            energy_uj = (power.total_uw * total_cycles
-                         * config.clock_period_ps * 1e-12)
-            print(f"{size:3d}x{size:<3d}  {variant.name:12}  "
-                  f"{utilization * 100:10.1f}%  "
-                  f"{power.total_uw / 1000:9.1f}  {energy_uj:10.2f}")
+        # Same grid, warm cache: every point is served, none computed.
+        start = time.perf_counter()
+        rerun = run(scale="smoke",
+                    array_shapes=("16x16", "32x32", "hw"),
+                    cache_dir=cache)
+        warm = time.perf_counter() - start
+        assert all(row.cached for row in rerun.rows)
+        print(f"\nwarm rerun: {len(rerun.rows)} point(s) all served "
+              f"from cache ({cold:.1f}s cold -> {warm:.2f}s warm)")
     print("\nobservation: bigger arrays finish sooner but idle more; "
           "column power gating (Optimized HW) recovers most of the "
           "idle-leakage cost, which is the paper's Standard-vs-Optimized "

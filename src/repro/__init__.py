@@ -52,6 +52,7 @@ from repro.timing import (
 from repro.systolic import (
     OPTIMIZED_HW,
     STANDARD_HW,
+    AcceleratorSpec,
     ArrayPowerModel,
     MacPowerParams,
     SystolicArray,
@@ -89,6 +90,7 @@ __all__ = [
     "DelaySelector",
     "SystolicArray",
     "SystolicConfig",
+    "AcceleratorSpec",
     "ArrayPowerModel",
     "MacPowerParams",
     "STANDARD_HW",

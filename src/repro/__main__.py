@@ -9,6 +9,7 @@ Usage::
     python -m repro backends --scale smoke --jobs 2
     python -m repro sweep --experiment fig8 --backend nangate15-booth \
         --backend nangate15-array --scale smoke --jobs 2
+    python -m repro accel --scale smoke --shape 16x16 --shape hw
     python -m repro --list-backends
     ...
 
@@ -71,6 +72,12 @@ def main(argv=None) -> int:
         from repro.experiments import sweep
 
         return sweep.cli_main(argv[1:])
+    if argv and argv[0] == "accel":
+        # Accelerator design-space exploration: array shapes x
+        # hardware variants over the accel sweep grid.
+        from repro.experiments import accel
+
+        return accel.cli_main(argv[1:])
     if argv and argv[0] == "serve":
         # The experiment service (HTTP job queue over the sweep
         # engine); needs the optional 'service' extra.
@@ -84,13 +91,16 @@ def main(argv=None) -> int:
                     "paper (DAC 2023)",
     )
     parser.add_argument("experiment", nargs="?",
-                        choices=sorted(EXPERIMENTS) + ["sweep",
+                        choices=sorted(EXPERIMENTS) + ["accel",
+                                                       "sweep",
                                                        "serve"],
                         help="which table/figure to regenerate "
                              "('backends' compares hardware backends; "
+                             "'accel' sweeps accelerator design points; "
                              "'sweep' runs a declarative grid; 'serve' "
                              "runs the HTTP experiment service, see "
-                             "'sweep --help' / 'serve --help')")
+                             "'accel --help' / 'sweep --help' / "
+                             "'serve --help')")
     parser.add_argument("--scale", default="ci",
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
@@ -138,7 +148,7 @@ def main(argv=None) -> int:
     if args.experiment is None:
         parser.error("an experiment is required "
                      "(or use --list-backends)")
-    if args.experiment in ("sweep", "serve"):
+    if args.experiment in ("accel", "sweep", "serve"):
         parser.error(f"'{args.experiment}' must come first: "
                      f"python -m repro {args.experiment} [flags]")
     if args.backend is not None:

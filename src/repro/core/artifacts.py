@@ -72,6 +72,13 @@ def _jsonable(value: Any) -> Any:
         return _jsonable(float(value))
     if isinstance(value, np.ndarray):
         return [_jsonable(v) for v in value.tolist()]
+    payload = getattr(value, "key_payload", None)
+    if callable(payload):
+        # Spec objects (HardwareBackend, AcceleratorSpec, ...) reduce to
+        # their declared key payload, tagged with the type name so two
+        # spec kinds with identical fields cannot collide.
+        return {"__spec__": type(value).__name__,
+                "payload": _jsonable(payload())}
     raise TypeError(
         f"cannot build a stable artifact key from {type(value).__name__}"
     )

@@ -33,6 +33,7 @@ from repro.core.stages import (
     build_power_pruning_graph,
 )
 from repro.hw import DEFAULT_BACKEND_ID
+from repro.systolic.spec import AcceleratorSpec
 
 #: Weight values referenced throughout the paper's figures; always
 #: characterized regardless of the CI-scale stride.
@@ -97,8 +98,38 @@ class PipelineConfig:
     stats_batch: int = 16
     clock_power_uw: float = 80.0
     refine_power_with_filtered_activations: bool = False
+    #: Accelerator design point evaluated by the ``accel_schedule`` /
+    #: ``accel_eval`` stages.  ``None`` means the backend's own
+    #: geometry on Standard HW; deliberately keyed ONLY into the
+    #: ``accel_*`` stage keys (via :attr:`accel_geometry` /
+    #: :attr:`accel_point`), so sweeping the accelerator design space
+    #: shares the whole training/characterization prefix.
+    accel: Optional[AcceleratorSpec] = None
     seed: int = 0
     verbose: bool = False
+
+    def accel_spec(self) -> AcceleratorSpec:
+        """The accelerator design point, defaulted when unset."""
+        return self.accel if self.accel is not None else AcceleratorSpec()
+
+    def _resolved_accel(self) -> AcceleratorSpec:
+        """Spec with ``None`` geometry resolved against the backend, so
+        an explicit 64x64 request and the default geometry of a 64x64
+        backend hash to the same ``accel_*`` keys."""
+        from repro.hw import get_backend
+        base = get_backend(self.backend).build_systolic_config()
+        return self.accel_spec().resolved(base)
+
+    @property
+    def accel_geometry(self) -> Dict[str, object]:
+        """``accel_schedule`` key payload: geometry + mapping only —
+        the hardware variant shares one schedule."""
+        return self._resolved_accel().geometry_payload()
+
+    @property
+    def accel_point(self) -> Dict[str, object]:
+        """``accel_eval`` key payload: geometry + mapping + variant."""
+        return self._resolved_accel().key_payload()
 
     def char_weights(self) -> Tuple[int, ...]:
         """Weight values to characterize (stride-reduced at CI scale).

@@ -21,6 +21,13 @@ The graph (paper Sec. III-C)::
                                                        ▼
                                              power_measurement ─► report
 
+plus the accelerator-evaluation branch (keyed on the
+:class:`~repro.systolic.spec.AcceleratorSpec` design point only, so a
+design-space sweep shares the whole training/characterization prefix)::
+
+    dataset ─┬─► accel_schedule ──► accel_eval
+    pruned ──┘      (geometry)   (power_table, voltage_scaling, variant)
+
 Stage outputs are plain picklable values; stages that conceptually
 produce "the model" return its ``state_dict`` plus the active
 weight/activation restriction, and downstream stages rebuild the live
@@ -441,6 +448,22 @@ class PipelineOps:
             energy_scale=base_table.energy_scale,
         )
 
+    # -- accelerator evaluation ---------------------------------------
+    def accel_design(self):
+        """``(spec, config)`` of the configured accelerator point.
+
+        The spec's ``None`` geometry resolves against the backend's own
+        systolic configuration, mirroring how the stage-key payloads
+        (:attr:`PipelineConfig.accel_geometry` / ``accel_point``)
+        resolve it.
+        """
+        from repro.systolic.spec import AcceleratorSpec
+
+        spec = getattr(self.config, "accel", None)
+        if spec is None:
+            spec = AcceleratorSpec()
+        return spec, spec.resolve_config(self.systolic_config)
+
     # -- measurement ---------------------------------------------------
     def measure_power(self, model, dataset, table, vdd=None):
         """(Standard HW, Optimized HW) average power of the network."""
@@ -642,6 +665,104 @@ def _stage_report(ops: PipelineOps, inputs: Dict[str, Any]):
     )
 
 
+def _stage_accel_schedule(ops: PipelineOps, inputs: Dict[str, Any]):
+    """Pruned model lowered onto the configured array geometry.
+
+    Keyed on the spec's geometry/mapping payload only — Standard and
+    Optimized HW share one schedule, so sweeping the variant axis reuses
+    this artifact.
+    """
+    from repro.systolic.mapping import schedule_matmul
+
+    spec, config = ops.accel_design()
+    model = ops.model_from_state(inputs["pruned"]["state"])
+    sample = inputs["dataset"].x_test[:2]
+    workloads = extract_workloads(model, sample, config,
+                                  capture_activations=False)
+    layers = []
+    for workload in workloads:
+        schedule = workload.schedule
+        if spec.stream_batch != 1:
+            # Stream `stream_batch` inferences through each stationary
+            # tile load; per-inference metrics divide back out later.
+            schedule = schedule_matmul(
+                schedule.k, schedule.n,
+                schedule.m * spec.stream_batch, config)
+        layers.append({"name": workload.name,
+                       "weights": workload.weights,
+                       "schedule": schedule})
+    return {"rows": config.rows, "cols": config.cols,
+            "inferences": spec.stream_batch, "layers": layers}
+
+
+def _stage_accel_eval(ops: PipelineOps, inputs: Dict[str, Any]):
+    """Array-level utilization/power/energy/latency of the design point.
+
+    Applies the hardware variant's gating semantics to the cached tile
+    schedules via :class:`~repro.systolic.energy.ArrayPowerModel`, at
+    nominal supply and at the ``voltage_scaling`` operating point.
+    Per-layer rows plus a network-level summary; ``latency_us`` /
+    ``energy_uj`` are per inference (``stream_batch`` divides out).
+    """
+    from repro.systolic import ArrayPowerModel, MacPowerParams
+
+    spec, config = ops.accel_design()
+    variant = spec.hardware_variant()
+    scaling = inputs["voltage_scaling"]
+    schedule_out = inputs["accel_schedule"]
+    inferences = schedule_out["inferences"]
+    model = ArrayPowerModel(
+        config,
+        MacPowerParams(table=inputs["power_table"],
+                       clock_power_uw=ops.config.clock_power_uw),
+        voltage_model=ops.voltage_model,
+    )
+    period_s = config.clock_period_ps * 1e-12
+
+    layer_rows = []
+    pairs = []
+    for layer in schedule_out["layers"]:
+        schedule, weights = layer["schedule"], layer["weights"]
+        power = model.layer_power(schedule, weights, variant)
+        power_vs = model.layer_power(schedule, weights, variant,
+                                     vdd=scaling.vdd)
+        cycles = schedule.total_cycles
+        time_s = cycles * period_s
+        layer_rows.append({
+            "layer": layer["name"],
+            "k": schedule.k, "n": schedule.n, "m": schedule.m,
+            "tiles": len(schedule), "cycles": cycles,
+            "macs": schedule.total_macs,
+            "utilization": schedule.utilization,
+            "power": power, "power_vs": power_vs,
+            "latency_us": time_s / inferences * 1e6,
+            "energy_uj": power.total_uw * time_s / inferences,
+            "energy_vs_uj": power_vs.total_uw * time_s / inferences,
+        })
+        pairs.append((schedule, weights))
+
+    power = model.network_power(pairs, variant)
+    power_vs = model.network_power(pairs, variant, vdd=scaling.vdd)
+    total_cycles = sum(schedule.total_cycles for schedule, _ in pairs)
+    total_macs = sum(schedule.total_macs for schedule, _ in pairs)
+    time_s = total_cycles * period_s
+    network = {
+        "rows": config.rows, "cols": config.cols,
+        "variant": spec.variant, "stream_batch": spec.stream_batch,
+        "vdd": scaling.vdd,
+        "total_cycles": total_cycles, "total_macs": total_macs,
+        "utilization": total_macs / (total_cycles * config.n_pes),
+        "power": power, "power_vs": power_vs,
+        "latency_us": time_s / inferences * 1e6,
+        "energy_uj": power.total_uw * time_s / inferences,
+        "energy_vs_uj": power_vs.total_uw * time_s / inferences,
+    }
+    ops.log(f"accel {config.rows}x{config.cols}/{spec.variant}: "
+            f"util {network['utilization']:.3f}, "
+            f"{network['energy_uj']:.3f} uJ/inference")
+    return {"layers": layer_rows, "network": network}
+
+
 #: Stage names in execution (topological) order.
 POWER_PRUNING_STAGES: Tuple[str, ...] = (
     "dataset",
@@ -655,6 +776,8 @@ POWER_PRUNING_STAGES: Tuple[str, ...] = (
     "voltage_scaling",
     "power_measurement",
     "report",
+    "accel_schedule",
+    "accel_eval",
 )
 
 #: Training fields shared by every stage that retrains the network.
@@ -730,5 +853,20 @@ def build_power_pruning_graph() -> StageGraph:
         deps=("baseline", "pruned", "power_selection", "delay_selection",
               "voltage_scaling", "power_measurement"),
         fields=("network", "dataset"),
+    ))
+    # Accelerator-evaluation branch.  `accel_geometry`/`accel_point`
+    # are the resolved AcceleratorSpec payloads — the ONLY place the
+    # design point enters any key, so geometry sweeps share the whole
+    # training/characterization prefix (power_table keys identical
+    # across array shapes, by construction).
+    graph.add(Stage(
+        "accel_schedule", _stage_accel_schedule,
+        deps=("dataset", "pruned"),
+        fields=("accel_geometry",),
+    ))
+    graph.add(Stage(
+        "accel_eval", _stage_accel_eval,
+        deps=("accel_schedule", "power_table", "voltage_scaling"),
+        fields=("accel_point", "clock_power_uw"),
     ))
     return graph

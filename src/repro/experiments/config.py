@@ -104,7 +104,8 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
                     backend: str = DEFAULT_BACKEND_ID,
                     char_jobs: int = 1,
                     char_batch_weights: int = 0,
-                    sim_kernel: str = "auto") -> PipelineConfig:
+                    sim_kernel: str = "auto",
+                    accel=None) -> PipelineConfig:
     """PipelineConfig for one network spec at the requested scale.
 
     Args:
@@ -125,6 +126,10 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
             (``auto``/``compiled``/``packed``); every kernel is
             bit-for-bit identical, so this is cache-key-neutral like
             ``char_jobs``.
+        accel: Optional :class:`~repro.systolic.spec.AcceleratorSpec`
+            design point for the ``accel_*`` stages; keys only those
+            stages, so accelerator sweeps share the training/
+            characterization prefix.
     """
     s = get_scale(scale)
     training = NETWORK_TRAINING.get(spec.network, {})
@@ -135,6 +140,7 @@ def pipeline_config(spec: NetworkSpec, scale: str = "ci",
         char_jobs=char_jobs,
         char_batch_weights=char_batch_weights,
         sim_kernel=sim_kernel,
+        accel=accel,
         network=spec.network,
         dataset=spec.dataset,
         num_classes=spec.num_classes,

@@ -56,6 +56,9 @@ class ExperimentContext:
         sim_kernel: Simulation word-kernel selection
             (``auto``/``compiled``/``packed``); bit-for-bit neutral,
             like ``char_jobs``.
+        accel: Optional :class:`~repro.systolic.spec.AcceleratorSpec`
+            design point for :meth:`accel_eval`; keys only the
+            ``accel_*`` stages.
     """
 
     def __init__(self, spec: NetworkSpec, scale: str = "ci",
@@ -65,14 +68,16 @@ class ExperimentContext:
                  backend=DEFAULT_BACKEND_ID,
                  char_jobs: int = 1,
                  char_batch_weights: int = 0,
-                 sim_kernel: str = "auto") -> None:
+                 sim_kernel: str = "auto",
+                 accel=None) -> None:
         self.spec = spec
         self.scale = scale
         self.config: PipelineConfig = pipeline_config(
             spec, scale, seed=seed, verbose=verbose, backend=backend,
             char_jobs=char_jobs,
             char_batch_weights=char_batch_weights,
-            sim_kernel=sim_kernel)
+            sim_kernel=sim_kernel,
+            accel=accel)
         self.pruner = PowerPruner(self.config, cache_dir=cache_dir,
                                   store=store)
         self.runner = self.pruner.runner()
@@ -120,6 +125,11 @@ class ExperimentContext:
     @property
     def power_table(self) -> WeightPowerTable:
         return self.runner.get("power_table")
+
+    def accel_eval(self) -> dict:
+        """Accelerator-level evaluation of the configured design point
+        (per-layer rows + network summary; see ``accel_eval`` stage)."""
+        return self.runner.get("accel_eval")
 
     def timing_table_key(self, candidate_weights) -> str:
         """Cache key of :meth:`timing_table` for a candidate set.

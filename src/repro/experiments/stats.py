@@ -54,7 +54,7 @@ __all__ = [
 #: Row fields that define a seed-aggregation group (everything except
 #: the seed and the per-run bookkeeping fields).
 GROUP_FIELDS: Tuple[str, ...] = (
-    "experiment", "backend_id", "network", "threshold", "scale",
+    "experiment", "backend_id", "network", "threshold", "accel", "scale",
 )
 
 
@@ -66,6 +66,8 @@ class AggregateRow:
     backend_id: str
     network: str
     threshold: Optional[float]
+    #: Accelerator design-point label (``accel`` sweeps), else ``None``.
+    accel: Optional[str]
     scale: str
     #: Every seed in the group, in row order (skipped seeds included).
     seeds: Tuple[int, ...]
@@ -85,8 +87,10 @@ class AggregateRow:
     def describe(self) -> str:
         threshold = ("-" if self.threshold is None
                      else f"{self.threshold:g}")
+        accel = f" accel={self.accel}" if self.accel is not None else ""
         return (f"{self.experiment} aggregate [network={self.network} "
-                f"backend={self.backend_id} threshold={threshold} "
+                f"backend={self.backend_id} threshold={threshold}"
+                f"{accel} "
                 f"seeds={','.join(str(s) for s in self.seeds)}]")
 
 

@@ -8,6 +8,14 @@ turns it into a deduplicated list of :class:`SweepPoint` tasks, and
 :func:`run_sweep` flattens those into the
 :func:`~repro.experiments.parallel.parallel_map` process pool.
 
+The ``accel`` experiment swaps the threshold axis for the accelerator
+design space: ``array_shapes x hw_variants``
+(:class:`~repro.systolic.spec.AcceleratorSpec` points evaluated by the
+``accel_*`` pipeline stages).  Accelerator points key only the
+``accel_*`` stage keys, so every design point of one (backend, network,
+seed) shares the whole training/characterization prefix — and Standard
+vs Optimized HW additionally share the ``accel_schedule`` artifact.
+
 Caching makes the grid cheap where it overlaps:
 
 * every pipeline stage is content-addressed (see
@@ -68,6 +76,11 @@ from repro.experiments.stats import (
     aggregate_rows,
 )
 from repro.hw import DEFAULT_BACKEND_ID, HardwareBackend, get_backend
+from repro.systolic.spec import (
+    AcceleratorSpec,
+    normalize_variant,
+    parse_array_shape,
+)
 
 __all__ = [
     "SweepSpec",
@@ -77,6 +90,7 @@ __all__ = [
     "AggregateRow",
     "make_sweep_spec",
     "load_sweep_file",
+    "load_spec_mapping",
     "sweep_spec_from_mapping",
     "expand",
     "point_config",
@@ -94,6 +108,13 @@ DEFAULT_THRESHOLDS: Dict[str, Tuple[Optional[float], ...]] = {
     "fig8": (None, 900.0, 850.0, 825.0, 800.0),
     "fig9": (180.0, 170.0, 160.0, 150.0, 140.0),
 }
+
+#: Experiments without a threshold axis.
+_NO_THRESHOLD_EXPERIMENTS = ("table1", "accel")
+
+#: Default hardware-variant axis of the ``accel`` experiment — the
+#: paper's Standard vs Optimized HW comparison.
+DEFAULT_HW_VARIANTS: Tuple[str, ...] = ("standard", "optimized")
 
 #: The hardware-independent-per-threshold prefix of the stage graph:
 #: grid points that differ only in their threshold axis share these
@@ -147,13 +168,24 @@ class SweepSpec:
     thresholds: Tuple[Optional[float], ...] = (None,)
     seeds: Tuple[int, ...] = (0,)
     scale: str = "ci"
+    #: Accelerator axes (``accel`` experiment only): array geometries
+    #: (``None`` = the backend's own), hardware variants, and the
+    #: mapping knob applied to every design point.
+    array_shapes: Tuple[Optional[Tuple[int, int]], ...] = (None,)
+    hw_variants: Tuple[str, ...] = ("standard",)
+    stream_batch: int = 1
 
     def describe(self) -> str:
-        return (f"{self.experiment} | scale {self.scale} | "
+        line = (f"{self.experiment} | scale {self.scale} | "
                 f"{len(self.backends)} backend(s) x "
-                f"{len(self.networks)} network(s) x "
-                f"{len(self.thresholds)} threshold(s) x "
-                f"{len(self.seeds)} seed(s)")
+                f"{len(self.networks)} network(s) x ")
+        if self.experiment == "accel":
+            line += (f"{len(self.array_shapes)} shape(s) x "
+                     f"{len(self.hw_variants)} variant(s) x ")
+        else:
+            line += f"{len(self.thresholds)} threshold(s) x "
+        line += f"{len(self.seeds)} seed(s)"
+        return line
 
 
 def make_sweep_spec(experiment: str,
@@ -162,7 +194,10 @@ def make_sweep_spec(experiment: str,
                     thresholds: Optional[
                         Sequence[Optional[float]]] = None,
                     seeds: Optional[Sequence[int]] = None,
-                    scale: str = "ci") -> SweepSpec:
+                    scale: str = "ci",
+                    array_shapes: Optional[Sequence] = None,
+                    hw_variants: Optional[Sequence[str]] = None,
+                    stream_batch: int = 1) -> SweepSpec:
     """Validate and normalize a sweep grid.
 
     Args:
@@ -171,10 +206,18 @@ def make_sweep_spec(experiment: str,
         networks: :class:`NetworkSpec` objects, network names or labels.
         thresholds: Power thresholds in µW for ``fig8`` (``None`` = no
             restriction), delay thresholds in ps for ``fig9`` (sorted
-            descending, as the paper sweeps them); ``table1`` has no
-            threshold axis.
+            descending, as the paper sweeps them); ``table1`` and
+            ``accel`` have no threshold axis.
         seeds: Pipeline seeds.
         scale: Experiment scale (``smoke``/``ci``/``paper``).
+        array_shapes: ``accel`` only — array geometries, in any
+            spelling :func:`~repro.systolic.spec.parse_array_shape`
+            accepts (``"32x32"``, ``(32, 32)``, ``None`` = the
+            backend's own geometry).  Default: the backend geometry.
+        hw_variants: ``accel`` only — hardware variants
+            (``standard``/``optimized``).  Default: both.
+        stream_batch: ``accel`` only — inferences streamed per
+            stationary tile load, applied to every design point.
     """
     if experiment not in _POINT_RUNNERS:
         raise ValueError(f"unknown sweep experiment {experiment!r}; "
@@ -189,10 +232,10 @@ def make_sweep_spec(experiment: str,
     if not seed_axis:
         raise ValueError("at least one seed is required")
 
-    if experiment == "table1":
+    if experiment in _NO_THRESHOLD_EXPERIMENTS:
         if thresholds not in (None, (), (None,)) \
                 and tuple(thresholds) != (None,):
-            raise ValueError("table1 has no threshold axis")
+            raise ValueError(f"{experiment} has no threshold axis")
         threshold_axis: Tuple[Optional[float], ...] = (None,)
     else:
         given = (tuple(thresholds) if thresholds
@@ -210,9 +253,38 @@ def make_sweep_spec(experiment: str,
             raise ValueError("at least one threshold is required")
         threshold_axis = normalized
 
+    if experiment == "accel":
+        shape_axis = tuple(dict.fromkeys(
+            parse_array_shape(s)
+            for s in (array_shapes if array_shapes else (None,))))
+        variant_axis = tuple(dict.fromkeys(
+            normalize_variant(v)
+            for v in (hw_variants if hw_variants
+                      else DEFAULT_HW_VARIANTS)))
+        if int(stream_batch) < 1:
+            raise ValueError("stream_batch must be >= 1")
+    else:
+        # The normalized defaults round-trip (a non-accel SweepSpec's
+        # own fields fed back in); anything else is a real axis request
+        # on an experiment that has no such axis.
+        if array_shapes and tuple(array_shapes) != (None,):
+            raise ValueError(
+                "array_shapes is an accel-only axis; use "
+                "experiment='accel'")
+        if hw_variants and tuple(hw_variants) != ("standard",):
+            raise ValueError(
+                "hw_variants is an accel-only axis; use "
+                "experiment='accel'")
+        if int(stream_batch) != 1:
+            raise ValueError("stream_batch is an accel-only knob")
+        shape_axis = (None,)
+        variant_axis = ("standard",)
+
     return SweepSpec(experiment=experiment, backends=backend_axis,
                      networks=network_axis, thresholds=threshold_axis,
-                     seeds=seed_axis, scale=scale)
+                     seeds=seed_axis, scale=scale,
+                     array_shapes=shape_axis, hw_variants=variant_axis,
+                     stream_batch=int(stream_batch))
 
 
 def sweep_spec_from_mapping(data: Mapping[str, Any],
@@ -223,14 +295,18 @@ def sweep_spec_from_mapping(data: Mapping[str, Any],
     experiment service's ``POST /sweeps`` body — both accept exactly
     the same keys: ``experiment`` (required), ``backends``,
     ``networks``, ``thresholds`` (``null``/``"none"`` entries mean "no
-    restriction" for fig8), ``seeds``, ``scale``.
+    restriction" for fig8), ``seeds``, ``scale``, plus the
+    accel-only axes ``array_shapes`` (``"32x32"``-style strings or
+    ``[rows, cols]`` pairs; ``null``/``"hw"`` = the backend's own
+    geometry), ``hw_variants`` and ``stream_batch``.
     """
     if not isinstance(data, Mapping) or "experiment" not in data:
         raise ValueError(
             f"{source} must be a table/object with an "
             f"'experiment' key")
     known = {"experiment", "backends", "networks", "thresholds",
-             "seeds", "scale"}
+             "seeds", "scale", "array_shapes", "hw_variants",
+             "stream_batch"}
     unknown = sorted(set(data) - known)
     if unknown:
         raise ValueError(f"unknown sweep spec keys {unknown}; "
@@ -247,14 +323,14 @@ def sweep_spec_from_mapping(data: Mapping[str, Any],
         thresholds=thresholds,
         seeds=data.get("seeds"),
         scale=data.get("scale", "ci"),
+        array_shapes=data.get("array_shapes"),
+        hw_variants=data.get("hw_variants"),
+        stream_batch=data.get("stream_batch", 1),
     )
 
 
-def load_sweep_file(path) -> SweepSpec:
-    """A :class:`SweepSpec` from a small JSON or TOML file.
-
-    See :func:`sweep_spec_from_mapping` for the recognized keys.
-    """
+def load_spec_mapping(path) -> Dict[str, Any]:
+    """The raw mapping of a JSON/TOML spec file (shared parser)."""
     path = Path(path)
     text = path.read_text()
     if path.suffix.lower() == ".toml":
@@ -263,8 +339,20 @@ def load_sweep_file(path) -> SweepSpec:
         data = tomllib.loads(text)
     else:
         data = json.loads(text)
-    return sweep_spec_from_mapping(data, source=f"sweep spec "
-                                                f"{str(path)!r}")
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"spec file {str(path)!r} must contain a table/object")
+    return dict(data)
+
+
+def load_sweep_file(path) -> SweepSpec:
+    """A :class:`SweepSpec` from a small JSON or TOML file.
+
+    See :func:`sweep_spec_from_mapping` for the recognized keys.
+    """
+    return sweep_spec_from_mapping(
+        load_spec_mapping(path),
+        source=f"sweep spec {str(path)!r}")
 
 
 @dataclass(frozen=True)
@@ -277,13 +365,18 @@ class SweepPoint:
     threshold: Optional[float]
     seed: int
     scale: str
+    #: Accelerator design point (``accel`` experiment only), resolved
+    #: against the backend's geometry at expansion time.
+    accel: Optional[AcceleratorSpec] = None
 
     def describe(self) -> str:
         threshold = ("-" if self.threshold is None
                      else f"{self.threshold:g}")
+        accel = ("" if self.accel is None
+                 else f" accel={self.accel.describe()}")
         return (f"{self.experiment} point [network={self.spec.label} "
                 f"backend={self.backend.backend_id} "
-                f"threshold={threshold} seed={self.seed} "
+                f"threshold={threshold}{accel} seed={self.seed} "
                 f"scale={self.scale}]")
 
     def key(self) -> str:
@@ -296,6 +389,8 @@ class SweepPoint:
             "dataset": self.spec.dataset,
             "num_classes": self.spec.num_classes,
             "threshold": self.threshold,
+            "accel": (None if self.accel is None
+                      else self.accel.key_payload()),
             "seed": self.seed,
             "scale": self.scale,
         })
@@ -305,8 +400,11 @@ def expand(sweep: SweepSpec) -> List[SweepPoint]:
     """The deduplicated task list of a sweep grid.
 
     Expansion order is deterministic — backends, then networks, then
-    seeds, then thresholds (innermost) — so points sharing a training
-    prefix are contiguous and results group naturally per panel.
+    seeds, then thresholds / accelerator points (innermost) — so points
+    sharing a training prefix are contiguous and results group
+    naturally per panel.  Accelerator specs are resolved against each
+    backend's geometry before dedup, so an explicit shape equal to the
+    backend default collapses into one point.
     """
     backends = tuple(
         b if isinstance(b, HardwareBackend) else get_backend(b)
@@ -314,17 +412,33 @@ def expand(sweep: SweepSpec) -> List[SweepPoint]:
     points: List[SweepPoint] = []
     seen = set()
     for backend in backends:
+        if sweep.experiment == "accel":
+            base = backend.build_systolic_config()
+            accel_axis = [
+                AcceleratorSpec(
+                    rows=None if shape is None else shape[0],
+                    cols=None if shape is None else shape[1],
+                    variant=variant,
+                    stream_batch=sweep.stream_batch,
+                ).resolved(base)
+                for shape in sweep.array_shapes
+                for variant in sweep.hw_variants
+            ]
+        else:
+            accel_axis = [None]
         for spec in sweep.networks:
             for seed in sweep.seeds:
                 for threshold in sweep.thresholds:
-                    point = SweepPoint(
-                        experiment=sweep.experiment, backend=backend,
-                        spec=spec, threshold=threshold, seed=seed,
-                        scale=sweep.scale)
-                    key = point.key()
-                    if key not in seen:
-                        seen.add(key)
-                        points.append(point)
+                    for accel in accel_axis:
+                        point = SweepPoint(
+                            experiment=sweep.experiment,
+                            backend=backend, spec=spec,
+                            threshold=threshold, seed=seed,
+                            scale=sweep.scale, accel=accel)
+                        key = point.key()
+                        if key not in seen:
+                            seen.add(key)
+                            points.append(point)
     return points
 
 
@@ -333,7 +447,7 @@ def point_config(point: SweepPoint, char_jobs: int = 1,
     """The pipeline config one grid point runs under."""
     return pipeline_config(point.spec, point.scale, seed=point.seed,
                            verbose=verbose, backend=point.backend,
-                           char_jobs=char_jobs)
+                           char_jobs=char_jobs, accel=point.accel)
 
 
 #: Config fields that never influence results and must therefore never
@@ -402,6 +516,9 @@ class SweepRow:
     #: Whether the finished row was served from the artifact store
     #: (memory or disk) instead of being computed.
     cached: bool = False
+    #: Accelerator design-point label (``accel`` sweeps), e.g.
+    #: ``"64x64/optimized"``; ``None`` for threshold experiments.
+    accel: Optional[str] = None
 
 
 def _point_table1(point: SweepPoint, context: ExperimentContext
@@ -498,6 +615,27 @@ def _point_fig9(point: SweepPoint, context: ExperimentContext
     }
 
 
+def _point_accel(point: SweepPoint, context: ExperimentContext
+                 ) -> Dict[str, Any]:
+    evaluation = context.accel_eval()
+    network = evaluation["network"]
+    return {
+        "payload": evaluation,
+        "metrics": {
+            "utilization_pct": network["utilization"] * 100.0,
+            "power_mw": network["power"].total_uw / 1000,
+            "power_dyn_mw": network["power"].dynamic_uw / 1000,
+            "power_leak_mw": network["power"].leakage_uw / 1000,
+            "power_vs_mw": network["power_vs"].total_uw / 1000,
+            "latency_us": network["latency_us"],
+            "energy_uj": network["energy_uj"],
+            "energy_vs_uj": network["energy_vs_uj"],
+            "total_cycles": network["total_cycles"],
+        },
+        "skipped": None,
+    }
+
+
 #: Registered per-point runners; the mapping's keys are the valid sweep
 #: experiments (tests may register synthetic ones).
 _POINT_RUNNERS: Dict[str, Callable[[SweepPoint, ExperimentContext],
@@ -505,6 +643,7 @@ _POINT_RUNNERS: Dict[str, Callable[[SweepPoint, ExperimentContext],
     "table1": _point_table1,
     "fig8": _point_fig8,
     "fig9": _point_fig9,
+    "accel": _point_accel,
 }
 
 
@@ -532,6 +671,8 @@ def _execute_point(point: SweepPoint, context: ExperimentContext
         metrics=dict(outcome["metrics"]),
         skipped=outcome["skipped"],
         cached=cached,
+        accel=(None if point.accel is None
+               else point.accel.describe()),
     )
 
 
@@ -554,7 +695,8 @@ def _run_point(task: PointTask) -> SweepRow:
                                 seed=point.seed, verbose=task.verbose,
                                 cache_dir=task.cache_dir,
                                 backend=point.backend,
-                                char_jobs=task.char_jobs)
+                                char_jobs=task.char_jobs,
+                                accel=point.accel)
     return _execute_point(point, context)
 
 
@@ -674,6 +816,7 @@ class SweepResult:
                 "backend": row.backend_id,
                 "network": row.network,
                 "threshold": row.threshold,
+                "accel": row.accel or "",
                 "seed": row.seed,
                 "scale": row.scale,
                 "skipped": row.skipped or "",
@@ -698,6 +841,7 @@ class SweepResult:
                 "backend": agg.backend_id,
                 "network": agg.network,
                 "threshold": agg.threshold,
+                "accel": agg.accel or "",
                 "scale": agg.scale,
                 "seeds": ";".join(str(s) for s in agg.seeds),
                 "n_seeds": agg.n_seeds,
@@ -819,6 +963,61 @@ def _aggregate_matrix(aggregates: Sequence[AggregateRow], metric: str,
     return lines
 
 
+def _accel_shape(label: Optional[str]) -> str:
+    """The geometry part of an accel row label (``64x64/optimized`` →
+    ``64x64``)."""
+    return (label or "-").split("/")[0]
+
+
+def _accel_variant(label: Optional[str]) -> str:
+    """The variant part of an accel row label."""
+    parts = (label or "-").split("/")
+    return parts[1] if len(parts) > 1 else "-"
+
+
+def _accel_matrix(rows: Sequence[SweepRow], metric: str, title: str,
+                  fmt: str, scale: float = 1.0) -> List[str]:
+    """Design-space overlay: one line per hardware variant (series),
+    one column per array shape — the accelerator counterpart of
+    :func:`_metric_matrix`."""
+    shapes = list(dict.fromkeys(_accel_shape(row.accel)
+                                for row in rows))
+    many_backends = len({row.backend_id for row in rows}) > 1
+    many_networks = len({row.network for row in rows}) > 1
+    many_seeds = len({row.seed for row in rows}) > 1
+
+    def series(row: SweepRow) -> str:
+        label = _accel_variant(row.accel)
+        if many_backends:
+            label = f"{row.backend_id} {label}"
+        if many_networks:
+            label += f" {row.network}"
+        if many_seeds:
+            label += f" s{row.seed}"
+        return label
+
+    names = list(dict.fromkeys(series(row) for row in rows))
+    width = max(10, max(len(s) for s in shapes) + 2)
+    label_width = max(len(s) for s in names)
+    lines = [title,
+             " " * label_width + " |" + "".join(
+                 f"{s:>{width}}" for s in shapes)]
+    for name in names:
+        cells = []
+        for shape in shapes:
+            cell = "-"
+            for row in rows:
+                if (series(row) == name
+                        and _accel_shape(row.accel) == shape):
+                    if row.skipped is None and metric in row.metrics:
+                        cell = _format_cell(row.metrics[metric], fmt,
+                                            scale)
+                    break
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{name:<{label_width}} |" + "".join(cells))
+    return lines
+
+
 _DETAIL_COLUMNS: Dict[str, List[Tuple[str, str, str, float]]] = {
     # metric key, column header, format, display scale
     "fig8": [("accuracy", "acc[%]", ".1f", 100.0),
@@ -833,6 +1032,11 @@ _DETAIL_COLUMNS: Dict[str, List[Tuple[str, str, str, float]]] = {
                ("power_opt_prop_vs_mw", "OptHW.prop", ".1f", 1.0),
                ("reduction_opt_pct", "red[%]", ".1f", 1.0),
                ("delay_reduction_ps", "dly.red[ps]", ".0f", 1.0)],
+    "accel": [("utilization_pct", "util[%]", ".1f", 1.0),
+              ("power_mw", "P[mW]", ".2f", 1.0),
+              ("power_vs_mw", "P@vdd[mW]", ".2f", 1.0),
+              ("energy_uj", "E[uJ]", ".3f", 1.0),
+              ("latency_us", "lat[us]", ".2f", 1.0)],
 }
 
 def detail_columns(experiment: str
@@ -848,23 +1052,27 @@ _PRIMARY_METRIC: Dict[str, Tuple[str, str, str, float]] = {
     "fig8": ("accuracy", "accuracy[%]", ".1f", 100.0),
     "fig9": ("accuracy", "accuracy[%]", ".1f", 100.0),
     "table1": ("accuracy_prop", "proposed accuracy[%]", ".1f", 100.0),
+    "accel": ("energy_uj", "energy/inference[uJ]", ".3f", 1.0),
 }
 
 
 def _format_aggregate_table(aggregates: Sequence[AggregateRow],
                             columns: Sequence[Tuple[str, str, str,
-                                                    float]]
-                            ) -> List[str]:
-    """Per-group ``mean±std`` table (one line per backend x threshold)."""
+                                                    float]],
+                            accel: bool = False) -> List[str]:
+    """Per-group ``mean±std`` table (one line per backend x threshold,
+    or backend x design point for ``accel`` sweeps)."""
     width = 15
-    lines = [f"{'backend':<18} {'thr':>8} {'n':>3} "
+    axis_header = (f"{'accel':>18}" if accel else f"{'thr':>8}")
+    lines = [f"{'backend':<18} {axis_header} {'n':>3} "
              + " ".join(f"{title:>{width}}"
                         for __, title, __, __ in columns)]
     for agg in aggregates:
         cells = [f"{aggregate_cell(agg, metric, fmt, scale):>{width}}"
                  for metric, __, fmt, scale in columns]
-        line = (f"{agg.backend_id:<18} "
-                f"{_threshold_label(agg.threshold):>8} "
+        axis_cell = (f"{agg.accel or '-':>18}" if accel
+                     else f"{_threshold_label(agg.threshold):>8}")
+        line = (f"{agg.backend_id:<18} {axis_cell} "
                 f"{agg.n_seeds:>3} " + " ".join(cells))
         if agg.skipped is not None:
             line += f"   (skipped: {agg.skipped})"
@@ -884,6 +1092,7 @@ def format_sweep(result: SweepResult) -> str:
     """
     sweep = result.sweep
     columns = _DETAIL_COLUMNS[sweep.experiment]
+    is_accel = sweep.experiment == "accel"
     many_seeds = len({row.seed for row in result.rows}) > 1
     aggregates = result.aggregate() if many_seeds else []
     lines = [f"=== sweep: {sweep.describe()} "
@@ -894,7 +1103,8 @@ def format_sweep(result: SweepResult) -> str:
             continue
         lines.append("")
         lines.append(f"--- {spec.label} ---")
-        header = (f"{'backend':<18} {'seed':>4} {'thr':>8} "
+        axis_header = (f"{'accel':>18}" if is_accel else f"{'thr':>8}")
+        header = (f"{'backend':<18} {'seed':>4} {axis_header} "
                   + " ".join(f"{title:>12}"
                              for __, title, __, __ in columns))
         lines.append(header)
@@ -906,9 +1116,10 @@ def format_sweep(result: SweepResult) -> str:
                 else:
                     cells.append(
                         f"{_format_cell(row.metrics[metric], fmt, scale):>12}")
+            axis_cell = (f"{row.accel or '-':>18}" if is_accel
+                         else f"{_threshold_label(row.threshold):>8}")
             line = (f"{row.backend_id:<18} {row.seed:>4} "
-                    f"{_threshold_label(row.threshold):>8} "
-                    + " ".join(cells))
+                    f"{axis_cell} " + " ".join(cells))
             if row.skipped is not None:
                 line += f"   (skipped: {row.skipped})"
             lines.append(line)
@@ -919,8 +1130,16 @@ def format_sweep(result: SweepResult) -> str:
             lines.append(f"aggregated over "
                          f"{len(set(sweep.seeds))} seeds (mean±std):")
             lines.extend(_format_aggregate_table(net_aggregates,
-                                                 columns))
-        if len(sweep.thresholds) > 1:
+                                                 columns,
+                                                 accel=is_accel))
+        if is_accel:
+            if len({row.accel for row in rows}) > 1:
+                metric, title, fmt, scale = _PRIMARY_METRIC["accel"]
+                lines.append("")
+                lines.extend(_accel_matrix(
+                    rows, metric,
+                    f"{title} by variant x array shape:", fmt, scale))
+        elif len(sweep.thresholds) > 1:
             metric, title, fmt, scale = _PRIMARY_METRIC[sweep.experiment]
             lines.append("")
             if net_aggregates:
@@ -1023,7 +1242,7 @@ def run_sweep(sweep: SweepSpec, jobs: Optional[int] = 1,
             context = ExperimentContext(
                 point.spec, point.scale, seed=point.seed,
                 verbose=verbose, store=shared, backend=point.backend,
-                char_jobs=char_jobs)
+                char_jobs=char_jobs, accel=point.accel)
             try:
                 rows[index] = _execute_point(point, context)
             except ParallelTaskError:
@@ -1109,6 +1328,18 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                              "repeatable (default: the paper's sweep)")
     parser.add_argument("--seed", action="append", type=int, metavar="N",
                         help="pipeline seed; repeatable (default: 0)")
+    parser.add_argument("--shape", action="append", metavar="RxC",
+                        help="accel only: systolic array geometry "
+                             "('32x32', '32', or 'hw' = the backend's "
+                             "own); repeatable")
+    parser.add_argument("--variant", action="append", metavar="NAME",
+                        choices=("standard", "optimized"),
+                        help="accel only: hardware variant; repeatable "
+                             "(default: both)")
+    parser.add_argument("--stream-batch", type=int, default=None,
+                        metavar="N",
+                        help="accel only: inferences streamed per "
+                             "stationary tile load (default: 1)")
     parser.add_argument("--scale", default=None,
                         choices=("smoke", "ci", "paper"),
                         help="experiment scale (default: ci)")
@@ -1166,6 +1397,13 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                        else base.seeds),
                 scale=(args.scale if args.scale is not None
                        else base.scale),
+                array_shapes=(args.shape if args.shape is not None
+                              else base.array_shapes),
+                hw_variants=(args.variant if args.variant is not None
+                             else base.hw_variants),
+                stream_batch=(args.stream_batch
+                              if args.stream_batch is not None
+                              else base.stream_batch),
             )
         else:
             if args.experiment is None:
@@ -1179,6 +1417,10 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                             if args.threshold is not None else None),
                 seeds=args.seed,
                 scale=args.scale if args.scale is not None else "ci",
+                array_shapes=args.shape,
+                hw_variants=args.variant,
+                stream_batch=(args.stream_batch
+                              if args.stream_batch is not None else 1),
             )
         for backend in sweep.backends:
             if isinstance(backend, str):

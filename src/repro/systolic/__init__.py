@@ -4,6 +4,9 @@ Substitute for the authors' synthesized 64x64 systolic array testbench:
 
 * :mod:`repro.systolic.config` — array geometry and the two hardware
   variants of the paper (Standard HW / Optimized HW).
+* :mod:`repro.systolic.spec` — :class:`AcceleratorSpec`, the cache-keyed
+  design point (geometry x variant x mapping) the ``accel_*`` pipeline
+  stages and the ``accel`` sweep axes evaluate.
 * :mod:`repro.systolic.mapping` — tiling of matmul-shaped layer workloads
   onto the array, with cycle accounting.
 * :mod:`repro.systolic.array` — functional simulation producing exact
@@ -21,17 +24,34 @@ from repro.systolic.config import (
     HardwareVariant,
     SystolicConfig,
 )
+from repro.systolic.spec import (
+    HW_VARIANTS,
+    AcceleratorSpec,
+    accel_spec_from_mapping,
+    normalize_variant,
+    parse_array_shape,
+)
 from repro.systolic.mapping import Tile, TileSchedule, schedule_matmul
 from repro.systolic.array import SystolicArray
 from repro.systolic.cycle_sim import CycleAccurateArray, CycleTrace
 from repro.systolic.stats import TransitionStatsCollector
-from repro.systolic.energy import ArrayPowerModel, MacPowerParams
+from repro.systolic.energy import (
+    ArrayPowerModel,
+    MacPowerParams,
+    ScheduleCounts,
+    schedule_value_counts,
+)
 
 __all__ = [
     "SystolicConfig",
     "HardwareVariant",
     "STANDARD_HW",
     "OPTIMIZED_HW",
+    "AcceleratorSpec",
+    "HW_VARIANTS",
+    "accel_spec_from_mapping",
+    "normalize_variant",
+    "parse_array_shape",
     "Tile",
     "TileSchedule",
     "schedule_matmul",
@@ -41,4 +61,6 @@ __all__ = [
     "TransitionStatsCollector",
     "ArrayPowerModel",
     "MacPowerParams",
+    "ScheduleCounts",
+    "schedule_value_counts",
 ]

@@ -28,6 +28,91 @@ from repro.power.estimator import PowerBreakdown
 from repro.systolic.config import HardwareVariant, SystolicConfig
 from repro.systolic.mapping import Tile, TileSchedule
 
+#: Size of the dense signed-8-bit weight-value lookup.
+_LUT_SIZE = 1 << 8
+
+
+@dataclass(frozen=True)
+class ScheduleCounts:
+    """Cycle-weighted occupancy statistics of one layer's schedule.
+
+    Every quantity is an exact integer (stored in float64 for
+    ``weight_counts``, far below 2**53), which is what makes the
+    vectorized one-shot ``np.bincount`` reduction bit-identical to the
+    per-tile accumulation loop: both sum the same integers.
+
+    Attributes:
+        weight_counts: ``(256,)`` — for each stationary weight value
+            ``v``, the number of (PE, cycle) pairs where an in-tile PE
+            holds ``v`` (tile occurrence count x tile cycles).
+        tile_pe_cycles: Total in-tile (PE, cycle) pairs.
+        idle_row_pe_cycles: (PE, cycle) pairs in rows below the tile.
+        unused_col_pe_cycles: (PE, cycle) pairs in columns the tile
+            does not occupy.
+        total_cycles: Schedule cycles.
+    """
+
+    weight_counts: np.ndarray
+    tile_pe_cycles: int
+    idle_row_pe_cycles: int
+    unused_col_pe_cycles: int
+    total_cycles: int
+
+
+def schedule_value_counts(schedule: TileSchedule, weights: np.ndarray,
+                          vectorized: bool = True) -> ScheduleCounts:
+    """Cycle-weighted stationary-value counts for a whole schedule.
+
+    The vectorized path paints each tile's cycle count over its
+    ``(K, N)`` slice and reduces the entire weight matrix with one
+    ``np.bincount``; the loop path accumulates an integer bincount per
+    tile.  Both produce bit-identical counts (asserted in tests), the
+    loop is kept as the oracle.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    if weights.shape != (schedule.k, schedule.n):
+        raise ValueError(
+            f"weight matrix {weights.shape} does not match schedule "
+            f"({schedule.k}, {schedule.n})"
+        )
+    config = schedule.config
+    tiles = schedule.tiles
+    cycles = np.array([tile.cycles() for tile in tiles], dtype=np.int64)
+    rows_used = np.array([tile.rows_used for tile in tiles], dtype=np.int64)
+    cols_used = np.array([tile.cols_used for tile in tiles], dtype=np.int64)
+
+    index = weights - (-(1 << 7))
+    if index.size and (index.min() < 0 or index.max() >= _LUT_SIZE):
+        raise ValueError("weights outside the signed-8-bit range")
+    if vectorized:
+        # One bincount over the whole matrix, weighted by the per-cell
+        # cycle count (+= per tile handles arbitrary tile lists the
+        # same way the reference loop does).
+        cycle_map = np.zeros(weights.shape, dtype=np.float64)
+        for tile, tile_cycles in zip(tiles, cycles):
+            cycle_map[tile.row_start:tile.row_stop,
+                      tile.col_start:tile.col_stop] += tile_cycles
+        counts = np.bincount(index.ravel(), weights=cycle_map.ravel(),
+                             minlength=_LUT_SIZE)
+    else:
+        acc = np.zeros(_LUT_SIZE, dtype=np.int64)
+        for tile, tile_cycles in zip(tiles, cycles):
+            tile_index = index[tile.row_start:tile.row_stop,
+                               tile.col_start:tile.col_stop]
+            acc += tile_cycles * np.bincount(tile_index.ravel(),
+                                             minlength=_LUT_SIZE)
+        counts = acc.astype(np.float64)
+
+    return ScheduleCounts(
+        weight_counts=counts,
+        tile_pe_cycles=int((cycles * rows_used * cols_used).sum()),
+        idle_row_pe_cycles=int(
+            (cycles * (config.rows - rows_used) * cols_used).sum()),
+        unused_col_pe_cycles=int(
+            (cycles * (config.cols - cols_used) * config.rows).sum()),
+        total_cycles=int(cycles.sum()),
+    )
+
 
 @dataclass(frozen=True)
 class MacPowerParams:
@@ -120,14 +205,75 @@ class ArrayPowerModel:
 
     def layer_power(self, schedule: TileSchedule, weights: np.ndarray,
                     variant: HardwareVariant,
-                    vdd: Optional[float] = None) -> PowerBreakdown:
+                    vdd: Optional[float] = None,
+                    vectorized: bool = True) -> PowerBreakdown:
         """Cycle-weighted average power of a whole layer.
+
+        One bincount over the whole schedule's stationary values
+        replaces the per-tile loop + per-PE fancy-index sum of the
+        original implementation (kept as :meth:`layer_power_reference`).
+        ``vectorized=False`` runs the per-tile counting loop instead —
+        bit-identical by construction, both paths share the final
+        reduction over exact integer counts.
 
         Args:
             schedule: Tile schedule of the layer.
             weights: Full ``(K, N)`` weight matrix the tiles slice.
             vdd: Optional scaled supply voltage.
+            vectorized: Count with the one-shot bincount (default) or
+                the per-tile loop.
         """
+        counts = schedule_value_counts(schedule, weights,
+                                       vectorized=vectorized)
+        return self._power_from_counts(counts, variant, vdd)
+
+    def _power_from_counts(self, counts: ScheduleCounts,
+                           variant: HardwareVariant,
+                           vdd: Optional[float] = None) -> PowerBreakdown:
+        """Gating semantics applied to cycle-weighted occupancy counts."""
+        params = self.params
+        weight_counts = counts.weight_counts
+        zero_index = -self._weight_offset
+        data_dynamic = float(weight_counts @ self._dynamic_lut)
+        if variant.clock_gate_zero_weight:
+            # Zero-weight PEs are gated: neither their (characterized)
+            # data activity nor their clock power is burned.
+            zero_pe_cycles = float(weight_counts[zero_index])
+            data_dynamic -= zero_pe_cycles * float(
+                self._dynamic_lut[zero_index])
+            clocked_pe_cycles = counts.tile_pe_cycles - zero_pe_cycles
+        else:
+            clocked_pe_cycles = float(
+                counts.tile_pe_cycles + counts.idle_row_pe_cycles)
+            if not variant.power_gate_unused_columns:
+                clocked_pe_cycles += counts.unused_col_pe_cycles
+        total_pe_cycles = self.config.n_pes * counts.total_cycles
+        if variant.power_gate_unused_columns:
+            leaking_pe_cycles = total_pe_cycles - counts.unused_col_pe_cycles
+        else:
+            leaking_pe_cycles = total_pe_cycles
+
+        total_cycles = counts.total_cycles
+        breakdown = PowerBreakdown(
+            dynamic_uw=(data_dynamic
+                        + clocked_pe_cycles * params.clock_power_uw
+                        ) / total_cycles,
+            leakage_uw=leaking_pe_cycles * params.leakage_uw / total_cycles,
+        )
+        if vdd is not None:
+            breakdown = breakdown.scaled(
+                self.voltage_model.dynamic_power_scale(vdd),
+                self.voltage_model.leakage_power_scale(vdd),
+            )
+        return breakdown
+
+    def layer_power_reference(self, schedule: TileSchedule,
+                              weights: np.ndarray,
+                              variant: HardwareVariant,
+                              vdd: Optional[float] = None
+                              ) -> PowerBreakdown:
+        """Original per-tile implementation, kept as the test oracle
+        for :meth:`layer_power` (agrees to float rounding)."""
         weights = np.asarray(weights, dtype=np.int64)
         if weights.shape != (schedule.k, schedule.n):
             raise ValueError(

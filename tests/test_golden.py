@@ -1,8 +1,8 @@
 """Golden-result regression suite.
 
-Recomputes smoke-scale reference results — a Table I row plus fig8/fig9
-curve points per backend — and compares them against the committed JSON
-files under ``tests/golden/``.  Any refactor that silently drifts the
+Recomputes smoke-scale reference results — a Table I row, fig8/fig9
+curve points per backend, and the accelerator design-space table — and
+compares them against the committed JSON files under ``tests/golden/``.  Any refactor that silently drifts the
 pipeline's numerics (RNG restructuring, stage reordering, calibration
 changes) fails here with a field-level diff instead of shipping wrong
 curves.
@@ -36,6 +36,7 @@ FIG8_BACKENDS = ("nangate15-booth", "nangate15-array")
 FIG8_THRESHOLDS = (None, 900.0, 825.0)
 FIG9_BACKENDS = ("nangate15-booth",)
 FIG9_THRESHOLDS = (180.0, 160.0, 150.0)
+ACCEL_SHAPES = ("16x16", None)  # None = the backend's own 64x64
 
 #: Accuracy tolerance: three samples of the 200-image smoke test set.
 ACCURACY_ATOL = 0.015
@@ -101,10 +102,21 @@ def compute_fig9(cache_dir):
     return _curves(run_sweep(sweep, cache_dir=cache_dir))
 
 
+def compute_accel(cache_dir):
+    """Accelerator design-space table (smoke-scale LeNet-5): one row
+    per array shape x hardware variant."""
+    sweep = make_sweep_spec("accel", networks=(NETWORK,),
+                            seeds=(SEED,), scale=SCALE,
+                            array_shapes=ACCEL_SHAPES)
+    return {row.accel: {k: v for k, v in row.metrics.items()}
+            for row in run_sweep(sweep, cache_dir=cache_dir).rows}
+
+
 GOLDENS = {
     "table1_lenet5_smoke.json": compute_table1,
     "fig8_lenet5_smoke.json": compute_fig8,
     "fig9_lenet5_smoke.json": compute_fig9,
+    "accel_lenet5_smoke.json": compute_accel,
 }
 
 
@@ -164,6 +176,10 @@ class TestGoldenResults:
     def test_fig9_curves_match_golden(self, smoke_cache_dir):
         _assert_matches("fig9", compute_fig9(smoke_cache_dir),
                         _load_golden("fig9_lenet5_smoke.json"))
+
+    def test_accel_table_matches_golden(self, smoke_cache_dir):
+        _assert_matches("accel", compute_accel(smoke_cache_dir),
+                        _load_golden("accel_lenet5_smoke.json"))
 
 
 def regenerate(cache_dir=None) -> None:

@@ -77,7 +77,7 @@ class TestGroupingIsAPartition:
     def test_aggregate_covers_every_seed_with_multiplicity(self, rows):
         aggregates = aggregate_rows(rows)
         keys = [(a.experiment, a.backend_id, a.network, a.threshold,
-                 a.scale) for a in aggregates]
+                 a.accel, a.scale) for a in aggregates]
         assert len(set(keys)) == len(keys)
         got = [(key, seed) for a, key in zip(aggregates, keys)
                for seed in a.seeds]
@@ -95,7 +95,8 @@ class TestStatisticsMatchNumpy:
                        if group_key(row) == (agg.experiment,
                                              agg.backend_id,
                                              agg.network,
-                                             agg.threshold, agg.scale)]
+                                             agg.threshold, agg.accel,
+                                             agg.scale)]
             live = [row for row in members if row.skipped is None]
             assert agg.n_seeds == len(live)
             assert agg.n_skipped == len(members) - len(live)
@@ -113,7 +114,7 @@ class TestStatisticsMatchNumpy:
     def test_all_live_metrics_are_aggregated(self, rows):
         aggregates = aggregate_rows(rows)
         by_key = {(a.experiment, a.backend_id, a.network, a.threshold,
-                   a.scale): a for a in aggregates}
+                   a.accel, a.scale): a for a in aggregates}
         for row in rows:
             if row.skipped is not None:
                 continue
@@ -159,7 +160,7 @@ class TestStableOrdering:
                 seen.append(key)
         aggregates = aggregate_rows(rows)
         assert [(a.experiment, a.backend_id, a.network, a.threshold,
-                 a.scale) for a in aggregates] == seen
+                 a.accel, a.scale) for a in aggregates] == seen
 
     @settings(max_examples=50, deadline=None)
     @given(rows=_sweep_rows())
@@ -209,4 +210,4 @@ class TestFormatMeanStd:
 
     def test_group_fields_cover_everything_but_the_seed(self):
         assert GROUP_FIELDS == ("experiment", "backend_id", "network",
-                                "threshold", "scale")
+                                "threshold", "accel", "scale")

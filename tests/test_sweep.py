@@ -322,7 +322,8 @@ class TestEngine:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 3  # header + 2 points
         assert lines[0].startswith(
-            "experiment,backend,network,threshold,seed,scale,skipped")
+            "experiment,backend,network,threshold,accel,seed,scale,"
+            "skipped")
 
     def test_rows_flag_cache_service(self, echo_experiment):
         spec = make_sweep_spec(echo_experiment, thresholds=(700.0,),
